@@ -1,0 +1,102 @@
+// Command psdfig regenerates the paper's evaluation figures (2–12).
+//
+// Usage:
+//
+//	psdfig -fig 2                     # one figure, table to stdout
+//	psdfig -fig all -out results/     # every figure as CSV files
+//	psdfig -fig 9 -runs 100           # paper fidelity (slow)
+//	psdfig -fig 5 -quick              # reduced fidelity smoke run
+//
+// Without -out, figures render as aligned text tables; with -out, each
+// figure is written to <out>/figureN.csv in long form (series,x,y).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"psd/internal/figures"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure id 2-12 or 'all'")
+		runs    = flag.Int("runs", 0, "replications per point (0 = fidelity default)")
+		horizon = flag.Float64("horizon", 0, "measured tu per run (0 = fidelity default)")
+		warmup  = flag.Float64("warmup", 0, "warmup tu (0 = fidelity default)")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		quick   = flag.Bool("quick", false, "reduced fidelity (10 runs, 15k tu)")
+		out     = flag.String("out", "", "output directory for CSV (default: tables to stdout)")
+	)
+	flag.Parse()
+
+	opts := figures.Defaults()
+	if *quick {
+		opts = figures.Quick()
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *horizon > 0 {
+		opts.Horizon = *horizon
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	opts.Seed = *seed
+
+	var ids []int
+	if *fig == "all" {
+		for id := 2; id <= 12; id++ {
+			ids = append(ids, id)
+		}
+	} else {
+		id, err := strconv.Atoi(*fig)
+		if err != nil {
+			fatalf("bad -fig %q", *fig)
+		}
+		ids = append(ids, id)
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		f, err := figures.Generate(id, opts)
+		if err != nil {
+			fatalf("figure %d: %v", id, err)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *out == "" {
+			fmt.Println(figures.RenderTable(f))
+			fmt.Printf("(figure %d regenerated in %s)\n\n", id, elapsed)
+			continue
+		}
+		path := filepath.Join(*out, fmt.Sprintf("figure%d.csv", id))
+		file, err := os.Create(path)
+		if err != nil {
+			fatalf("creating %s: %v", path, err)
+		}
+		if err := figures.WriteCSV(file, f); err != nil {
+			file.Close()
+			fatalf("writing %s: %v", path, err)
+		}
+		if err := file.Close(); err != nil {
+			fatalf("closing %s: %v", path, err)
+		}
+		fmt.Printf("figure %d → %s (%s)\n", id, path, elapsed)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "psdfig: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command psdload drives open-loop Poisson load at a psdserver instance
+// and reports achieved per-class slowdowns and ratios.
+//
+// Usage:
+//
+//	psdload -url http://localhost:8080/ -lambdas 0.1,0.1 -duration 30s
+//
+// Lambdas are per time unit (match the server's -timeunit); each class
+// gets an independent Poisson stream with Bounded Pareto sizes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"psd/internal/dist"
+	"psd/internal/loadgen"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080/", "work endpoint URL")
+		lambdas  = flag.String("lambdas", "0.1,0.1", "per-class arrival rates (requests per time unit)")
+		timeUnit = flag.Duration("timeunit", 10*time.Millisecond, "wall-clock duration of one time unit (match server)")
+		duration = flag.Duration("duration", 30*time.Second, "run length")
+		alpha    = flag.Float64("alpha", 1.5, "Bounded Pareto shape for request sizes")
+		lower    = flag.Float64("lower", 0.1, "Bounded Pareto lower bound")
+		upper    = flag.Float64("upper", 100, "Bounded Pareto upper bound")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	ls, err := parseFloats(*lambdas)
+	if err != nil {
+		fatalf("bad -lambdas: %v", err)
+	}
+	svc, err := dist.NewBoundedPareto(*lower, *upper, *alpha)
+	if err != nil {
+		fatalf("bad Bounded Pareto parameters: %v", err)
+	}
+
+	fmt.Printf("driving %v of load at %s (lambdas %v per %v time unit)\n",
+		*duration, *url, ls, *timeUnit)
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:  *url,
+		Lambdas:  ls,
+		TimeUnit: *timeUnit,
+		Service:  svc,
+		Duration: *duration,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatalf("load run failed: %v", err)
+	}
+
+	fmt.Printf("\n%-8s %-8s %-10s %-8s %-14s %-12s %-14s\n",
+		"class", "sent", "completed", "errors", "mean slowdown", "p95 slow", "mean lat (ms)")
+	for i, c := range rep.Classes {
+		fmt.Printf("%-8d %-8d %-10d %-8d %-14.4f %-12.4f %-14.2f\n",
+			i+1, c.Sent, c.Completed, c.Errors, c.MeanSlowdown, c.P95Slowdown, c.MeanLatencyMs)
+	}
+	for i := 1; i < len(rep.Classes); i++ {
+		fmt.Printf("achieved slowdown ratio class %d/1: %.4f\n", i+1, rep.SlowdownRatio(i))
+	}
+	fmt.Printf("elapsed: %v\n", rep.Elapsed.Round(time.Millisecond))
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "psdload: "+format+"\n", args...)
+	os.Exit(1)
+}

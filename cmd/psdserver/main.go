@@ -1,0 +1,89 @@
+// Command psdserver runs the PSD HTTP server: classified requests are
+// queued per class and served by rate-allocated task servers, with live
+// reallocation and a JSON metrics endpoint.
+//
+// Usage:
+//
+//	psdserver -addr :8080 -deltas 1,2
+//	curl 'http://localhost:8080/?class=0&size=2'
+//	curl http://localhost:8080/metrics
+//
+// A request's class comes from the X-PSD-Class header or ?class=; its
+// work size from ?size= (work units) or, if absent, a Bounded Pareto
+// sample. One work unit at full rate costs -timeunit of wall clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"psd/internal/dist"
+	"psd/internal/httpsrv"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		deltas   = flag.String("deltas", "1,2", "comma-separated differentiation parameters")
+		timeUnit = flag.Duration("timeunit", 10*time.Millisecond, "wall-clock duration of one work unit at full rate")
+		window   = flag.Float64("window", 100, "reallocation window in time units")
+		alpha    = flag.Float64("alpha", 1.5, "Bounded Pareto shape for undeclared sizes")
+		lower    = flag.Float64("lower", 0.1, "Bounded Pareto lower bound")
+		upper    = flag.Float64("upper", 100, "Bounded Pareto upper bound")
+		feedback = flag.Bool("feedback", false, "enable the slowdown-ratio feedback controller")
+		seed     = flag.Uint64("seed", 1, "server-side sampling seed")
+	)
+	flag.Parse()
+
+	ds, err := parseFloats(*deltas)
+	if err != nil {
+		fatalf("bad -deltas: %v", err)
+	}
+	svc, err := dist.NewBoundedPareto(*lower, *upper, *alpha)
+	if err != nil {
+		fatalf("bad Bounded Pareto parameters: %v", err)
+	}
+	srv, err := httpsrv.New(httpsrv.Config{
+		Deltas:   ds,
+		Service:  svc,
+		TimeUnit: *timeUnit,
+		Window:   *window,
+		Feedback: *feedback,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatalf("starting server: %v", err)
+	}
+	defer srv.Close()
+
+	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), feedback=%v",
+		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), *feedback)
+	log.Printf("work endpoint: GET /?class=N&size=X   metrics: GET /metrics")
+	if err := http.ListenAndServe(*addr, srv.Mux()); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "psdserver: "+format+"\n", args...)
+	os.Exit(1)
+}

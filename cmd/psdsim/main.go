@@ -1,0 +1,120 @@
+// Command psdsim runs the paper's simulation model once (or replicated)
+// and prints a per-class summary: measured vs expected slowdowns, rates,
+// and achieved ratios.
+//
+// Usage:
+//
+//	psdsim -deltas 1,2 -load 0.5 -runs 10
+//	psdsim -deltas 1,2,3 -load 0.8 -alpha 1.5 -upper 100 -runs 100
+//	psdsim -deltas 1,4 -load 0.6 -allocator pdd        # baseline ablation
+//	psdsim -deltas 1,2 -load 0.5 -work-conserving      # GPS-mode ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"psd/internal/core"
+	"psd/internal/dist"
+	"psd/internal/simsrv"
+)
+
+func main() {
+	var (
+		deltasFlag  = flag.String("deltas", "1,2", "comma-separated differentiation parameters")
+		load        = flag.Float64("load", 0.5, "total system utilization in (0,1)")
+		runs        = flag.Int("runs", 10, "independent replications (paper: 100)")
+		alpha       = flag.Float64("alpha", 1.5, "Bounded Pareto shape")
+		lower       = flag.Float64("lower", 0.1, "Bounded Pareto lower bound")
+		upper       = flag.Float64("upper", 100, "Bounded Pareto upper bound")
+		horizon     = flag.Float64("horizon", 60000, "measured duration (time units)")
+		warmup      = flag.Float64("warmup", 10000, "warmup duration (time units)")
+		window      = flag.Float64("window", 1000, "estimation/reallocation window")
+		history     = flag.Int("history", 5, "estimator history windows")
+		seed        = flag.Uint64("seed", 1, "base random seed")
+		allocator   = flag.String("allocator", "psd", "psd | pdd | equal | demand")
+		workConserv = flag.Bool("work-conserving", false, "redistribute idle class capacity (GPS ablation)")
+		oracle      = flag.Bool("oracle", false, "feed the allocator true arrival rates (no estimation error)")
+	)
+	flag.Parse()
+
+	deltas, err := parseFloats(*deltasFlag)
+	if err != nil {
+		fatalf("bad -deltas: %v", err)
+	}
+	svc, err := dist.NewBoundedPareto(*lower, *upper, *alpha)
+	if err != nil {
+		fatalf("bad Bounded Pareto parameters: %v", err)
+	}
+	cfg := simsrv.EqualLoadConfig(deltas, *load, svc)
+	cfg.Horizon = *horizon
+	cfg.Warmup = *warmup
+	cfg.Window = *window
+	cfg.HistoryWindows = *history
+	cfg.Seed = *seed
+	cfg.WorkConserving = *workConserv
+	cfg.Oracle = *oracle
+	switch *allocator {
+	case "psd":
+		cfg.Allocator = core.PSD{}
+	case "pdd":
+		cfg.Allocator = core.PDD{}
+	case "equal":
+		cfg.Allocator = core.EqualShare{}
+	case "demand":
+		cfg.Allocator = core.DemandProportional{}
+	default:
+		fatalf("unknown allocator %q", *allocator)
+	}
+
+	agg, err := simsrv.RunReplications(cfg, *runs)
+	if err != nil {
+		fatalf("simulation failed: %v", err)
+	}
+
+	fmt.Printf("PSD simulation — %d classes, load %.0f%%, %s allocator, %d runs × %g tu\n",
+		len(deltas), *load*100, cfg.Allocator.Name(), *runs, *horizon)
+	fmt.Printf("service: %s (E[X]=%.4f, E[X²]=%.4f, E[1/X]=%.4f)\n\n",
+		svc, svc.Mean(), svc.SecondMoment(), svc.InverseMoment())
+	fmt.Printf("%-8s %-8s %-14s %-14s %-12s %-12s\n",
+		"class", "delta", "sim slowdown", "expected", "ci95", "ratio to c1")
+	for i, d := range deltas {
+		ratio := 1.0
+		if i > 0 {
+			ratio = agg.MeanRatios[i]
+		}
+		fmt.Printf("%-8d %-8g %-14.4f %-14.4f %-12.4f %-12.4f\n",
+			i+1, d, agg.MeanSlowdowns[i], agg.ExpectedSlowdowns[i], agg.CI95[i], ratio)
+	}
+	fmt.Printf("\nsystem slowdown: %.4f (expected %.4f)\n",
+		agg.SystemSlowdown, simsrv.ExpectedSystemSlowdown(cfg, agg))
+	if agg.AllocFailures > 0 {
+		fmt.Printf("allocator fallbacks (kept previous rates): %d windows\n", agg.AllocFailures)
+	}
+	for i := 1; i < len(deltas); i++ {
+		rs := agg.RatioSummaries[i]
+		fmt.Printf("class %d/1 per-window ratio: p05=%.3f p50=%.3f p95=%.3f (n=%d)\n",
+			i+1, rs.P05, rs.P50, rs.P95, rs.N)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "psdsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Package psd reproduces "Processing Rate Allocation for Proportional
+// Slowdown Differentiation on Internet Servers" (Zhou, Wei, Xu — IPDPS
+// 2004) as a production-quality Go library.
+//
+// # The problem
+//
+// Slowdown — a request's queueing delay divided by its service time — is
+// the natural responsiveness metric for servers handling jobs of wildly
+// different sizes: clients expect small requests to come back fast and
+// tolerate proportionally longer waits for big ones. Proportional
+// slowdown differentiation (PSD) keeps the *ratio* of average slowdowns
+// between service classes pinned to operator-chosen parameters δ_i,
+// independent of load:
+//
+//	E[S_i] / E[S_j] = δ_i / δ_j
+//
+// # The paper's solution, reproduced here
+//
+// Partition the server's capacity among per-class FCFS task servers. For
+// M/G_B/1 traffic (Poisson arrivals, Bounded Pareto sizes) the expected
+// slowdown of a task server has the closed form (Theorem 1)
+//
+//	E[S_i] = λ_i·E[X²]·E[1/X] / (2(r_i − λ_i·E[X]))
+//
+// and the rate vector (Eq. 17)
+//
+//	r_i = λ_i·E[X] + (λ_i/δ_i)·(1 − ρ)/Σ_j(λ_j/δ_j)
+//
+// yields exactly proportional slowdowns. This module implements the
+// closed forms, the allocator, the paper's simulation model, a real
+// net/http server applying the strategy, every substrate they need
+// (random streams, heavy-tailed distributions, a DES engine,
+// proportional-share schedulers, load estimators), and a harness that
+// regenerates all eleven evaluation figures.
+//
+// # Layout
+//
+// This root package is a thin facade over the implementation packages:
+//
+//	internal/core      Eq. 17 allocator + baselines (the contribution)
+//	internal/queueing  Lemma 1/2, Theorem 1, Eq. 15 closed forms
+//	internal/dist      Bounded Pareto & friends, with E[1/X]
+//	internal/simsrv    the paper's simulation model (Fig. 1)
+//	internal/sched     GPS/WFQ/DRR/WRR/Lottery substrate
+//	internal/control   load estimators, feedback extension
+//	internal/httpsrv   PSD on a real net/http server
+//	internal/figures   Figures 2–12 regeneration
+//
+// Start with AllocateRates for the analytic strategy, Simulate for the
+// paper's experiment rig, or internal/httpsrv for a live server. The
+// runnable examples under examples/ walk through each.
+package psd

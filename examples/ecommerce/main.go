@@ -1,0 +1,81 @@
+// E-commerce sessions: the paper's §2.2 motivation realized end to end.
+//
+// A CBMG session generator (home → browse/search → details → pay, with
+// per-state service laws: Deterministic for home/register — the M/D/1
+// states of Eq. 15 — and Bounded Pareto for content states) produces a
+// two-tier trace: premium members (δ=1) and guests (δ=2). The trace is
+// replayed through the simulation model under the PSD allocator, and we
+// verify the premium tier sees proportionally smaller slowdowns even on
+// this structured, non-Poisson traffic.
+//
+// Run: go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"psd/internal/rng"
+	"psd/internal/simsrv"
+	"psd/internal/workload"
+)
+
+func main() {
+	model := workload.DefaultModel()
+	fmt.Printf("CBMG session model: %.2f requests per session on average\n",
+		model.MeanRequestsPerSession())
+
+	// 30% premium members, 70% guests.
+	gen, err := workload.NewGenerator(model, 0.3, []float64{0.3, 0.7}, rng.New(2024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const total = 40000.0
+	reqs, err := gen.Generate(total)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := workload.ClassRates(reqs, 2, total)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, second, inverse, err := workload.SizeMoments(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d requests (%.3f/tu premium, %.3f/tu guest)\n",
+		len(reqs), rates[0], rates[1])
+	fmt.Printf("empirical size moments: E[X]=%.3f E[X²]=%.3f E[1/X]=%.3f\n",
+		mean, second, inverse)
+	fmt.Printf("offered load: %.0f%% of server capacity\n\n",
+		(rates[0]+rates[1])*mean*100)
+
+	trace := make([]simsrv.TraceRequest, len(reqs))
+	for i, r := range reqs {
+		trace[i] = simsrv.TraceRequest{Time: r.Time, Class: r.Class, Size: r.Size}
+	}
+	cfg := simsrv.Config{
+		Classes: []simsrv.ClassConfig{
+			{Delta: 1, Lambda: rates[0]}, // premium members
+			{Delta: 2, Lambda: rates[1]}, // guests
+		},
+		Warmup:  5000,
+		Horizon: total - 5000,
+		Seed:    1,
+	}
+	res, err := simsrv.RunTrace(cfg, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := []string{"premium", "guest"}
+	for i, cs := range res.Classes {
+		fmt.Printf("%-8s (delta %g): %6d requests, mean slowdown %.3f, mean delay %.3f tu\n",
+			names[i], cfg.Classes[i].Delta, cs.Count, cs.MeanSlowdown, cs.MeanDelay)
+	}
+	fmt.Printf("\nachieved slowdown ratio guest/premium: %.3f (target 2.0)\n",
+		res.Classes[1].MeanSlowdown/res.Classes[0].MeanSlowdown)
+	fmt.Println("\nSession traffic is burstier than Poisson (the Eq. 17 model), so the")
+	fmt.Println("ratio tracks the target more loosely than in the M/G_B/1 experiments —")
+	fmt.Println("the differentiation ordering itself still holds.")
+}

@@ -1,0 +1,258 @@
+// Package control provides the load-estimation and feedback machinery
+// around the PSD rate allocator.
+//
+// The paper estimates each class's load as the average over the past five
+// 1000-time-unit windows (§4.1) and attributes its controllability gaps at
+// large δ ratios to estimation error (§4.4); its stated future work is
+// improving short-timescale predictability. This package supplies:
+//
+//   - WindowEstimator: the paper's sliding-window mean estimator
+//   - EWMAEstimator: an exponentially weighted alternative that reacts
+//     faster to load shifts at equal noise
+//   - RatioController: a multiplicative-integral feedback loop that trims
+//     the δ values handed to the allocator so the *measured* slowdown
+//     ratios converge to the targets even when the analytic model is off
+//     (the future-work extension, evaluated in the ablation benches)
+//
+// Estimators consume per-window arrival observations and emit smoothed
+// arrival-rate estimates; they are plain data structures, serialized by
+// their callers.
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Estimator smooths per-window arrival counts into arrival-rate
+// estimates.
+type Estimator interface {
+	// ObserveWindow records one closed window's arrival count and total
+	// work for each class. The slices must have the estimator's class
+	// count.
+	ObserveWindow(counts []float64, work []float64) error
+	// Lambdas returns the current per-class arrival-rate estimates
+	// (requests per time unit). Zero until the first window closes.
+	Lambdas() []float64
+	// Loads returns the current per-class offered-load estimates (work
+	// units per time unit).
+	Loads() []float64
+	// Name identifies the estimator.
+	Name() string
+}
+
+// ErrDimension reports slices of the wrong class count.
+var ErrDimension = errors.New("control: wrong number of classes")
+
+// WindowEstimator is the paper's estimator: the estimate for the next
+// window is the mean over the last History windows.
+type WindowEstimator struct {
+	window  float64
+	history int
+	counts  [][]float64 // ring: [slot][class]
+	work    [][]float64
+	next    int
+	filled  int
+	classes int
+}
+
+// NewWindowEstimator builds the paper's 5-window mean estimator (pass
+// history=5, window=1000 for the §4.1 configuration).
+func NewWindowEstimator(classes, history int, window float64) (*WindowEstimator, error) {
+	if classes < 1 || history < 1 || !(window > 0) {
+		return nil, fmt.Errorf("control: invalid estimator shape classes=%d history=%d window=%v",
+			classes, history, window)
+	}
+	e := &WindowEstimator{window: window, history: history, classes: classes}
+	e.counts = make([][]float64, history)
+	e.work = make([][]float64, history)
+	for i := range e.counts {
+		e.counts[i] = make([]float64, classes)
+		e.work[i] = make([]float64, classes)
+	}
+	return e, nil
+}
+
+// Name implements Estimator.
+func (e *WindowEstimator) Name() string { return "window" }
+
+// ObserveWindow implements Estimator.
+func (e *WindowEstimator) ObserveWindow(counts, work []float64) error {
+	if len(counts) != e.classes || len(work) != e.classes {
+		return ErrDimension
+	}
+	copy(e.counts[e.next], counts)
+	copy(e.work[e.next], work)
+	e.next = (e.next + 1) % e.history
+	if e.filled < e.history {
+		e.filled++
+	}
+	return nil
+}
+
+// Lambdas implements Estimator.
+func (e *WindowEstimator) Lambdas() []float64 { return e.average(e.counts) }
+
+// Loads implements Estimator.
+func (e *WindowEstimator) Loads() []float64 { return e.average(e.work) }
+
+func (e *WindowEstimator) average(ring [][]float64) []float64 {
+	out := make([]float64, e.classes)
+	if e.filled == 0 {
+		return out
+	}
+	span := e.window * float64(e.filled)
+	for s := 0; s < e.filled; s++ {
+		for c := 0; c < e.classes; c++ {
+			out[c] += ring[s][c]
+		}
+	}
+	for c := range out {
+		out[c] /= span
+	}
+	return out
+}
+
+// EWMAEstimator smooths with an exponentially weighted moving average:
+// estimate ← (1−α)·estimate + α·window-rate. α in (0, 1]; larger α reacts
+// faster. Its effective memory of 1/α windows makes it comparable to a
+// WindowEstimator with history ≈ 2/α − 1.
+type EWMAEstimator struct {
+	window  float64
+	alpha   float64
+	classes int
+	lambdas []float64
+	loads   []float64
+	primed  bool
+}
+
+// NewEWMAEstimator builds the estimator.
+func NewEWMAEstimator(classes int, alpha, window float64) (*EWMAEstimator, error) {
+	if classes < 1 || !(alpha > 0) || alpha > 1 || !(window > 0) {
+		return nil, fmt.Errorf("control: invalid EWMA shape classes=%d alpha=%v window=%v",
+			classes, alpha, window)
+	}
+	return &EWMAEstimator{
+		window: window, alpha: alpha, classes: classes,
+		lambdas: make([]float64, classes),
+		loads:   make([]float64, classes),
+	}, nil
+}
+
+// Name implements Estimator.
+func (e *EWMAEstimator) Name() string { return "ewma" }
+
+// ObserveWindow implements Estimator.
+func (e *EWMAEstimator) ObserveWindow(counts, work []float64) error {
+	if len(counts) != e.classes || len(work) != e.classes {
+		return ErrDimension
+	}
+	for c := 0; c < e.classes; c++ {
+		l := counts[c] / e.window
+		w := work[c] / e.window
+		if !e.primed {
+			e.lambdas[c] = l
+			e.loads[c] = w
+		} else {
+			e.lambdas[c] += e.alpha * (l - e.lambdas[c])
+			e.loads[c] += e.alpha * (w - e.loads[c])
+		}
+	}
+	e.primed = true
+	return nil
+}
+
+// Lambdas implements Estimator.
+func (e *EWMAEstimator) Lambdas() []float64 { return append([]float64(nil), e.lambdas...) }
+
+// Loads implements Estimator.
+func (e *EWMAEstimator) Loads() []float64 { return append([]float64(nil), e.loads...) }
+
+// RatioController trims the δ vector fed to the allocator so measured
+// slowdown ratios converge to the target ratios. Class 0 is the reference
+// (its effective δ stays at the target); for i ≥ 1 the controller applies
+// a multiplicative-integral update
+//
+//	δeff_i ← clamp(δeff_i · (target_i / measured_i)^Gain)
+//
+// once per adjustment period. Intuition: if class i's measured ratio is
+// too high, handing the allocator a smaller δ_i directs more surplus
+// capacity to class i, pulling the ratio down. Gain in (0, 1] trades
+// convergence speed against noise amplification; the clamp keeps δeff
+// within [target/MaxTrim, target·MaxTrim].
+type RatioController struct {
+	target  []float64
+	eff     []float64
+	gain    float64
+	maxTrim float64
+}
+
+// NewRatioController builds a controller for the target δ vector.
+func NewRatioController(target []float64, gain, maxTrim float64) (*RatioController, error) {
+	if len(target) == 0 {
+		return nil, errors.New("control: no target deltas")
+	}
+	for i, d := range target {
+		if !(d > 0) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("control: target delta[%d] = %v must be positive", i, d)
+		}
+	}
+	if !(gain > 0) || gain > 1 {
+		return nil, fmt.Errorf("control: gain %v must be in (0, 1]", gain)
+	}
+	if !(maxTrim > 1) {
+		return nil, fmt.Errorf("control: maxTrim %v must exceed 1", maxTrim)
+	}
+	return &RatioController{
+		target:  append([]float64(nil), target...),
+		eff:     append([]float64(nil), target...),
+		gain:    gain,
+		maxTrim: maxTrim,
+	}, nil
+}
+
+// Deltas returns the effective δ vector to hand to the allocator.
+func (r *RatioController) Deltas() []float64 { return append([]float64(nil), r.eff...) }
+
+// Update feeds one period's measured per-class mean slowdowns. Classes
+// with non-positive or NaN measurements (no completions) are skipped.
+func (r *RatioController) Update(measured []float64) error {
+	if len(measured) != len(r.target) {
+		return ErrDimension
+	}
+	ref := measured[0]
+	if !(ref > 0) || math.IsNaN(ref) {
+		return nil // no reference signal this period
+	}
+	for i := 1; i < len(r.target); i++ {
+		m := measured[i]
+		if !(m > 0) || math.IsNaN(m) {
+			continue
+		}
+		measuredRatio := m / ref
+		targetRatio := r.target[i] / r.target[0]
+		adj := math.Pow(targetRatio/measuredRatio, r.gain)
+		next := r.eff[i] * adj
+		lo := r.target[i] / r.maxTrim
+		hi := r.target[i] * r.maxTrim
+		if next < lo {
+			next = lo
+		}
+		if next > hi {
+			next = hi
+		}
+		r.eff[i] = next
+	}
+	return nil
+}
+
+// Reset restores the effective deltas to the targets.
+func (r *RatioController) Reset() {
+	copy(r.eff, r.target)
+}
+
+var (
+	_ Estimator = (*WindowEstimator)(nil)
+	_ Estimator = (*EWMAEstimator)(nil)
+)

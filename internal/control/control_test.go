@@ -1,0 +1,241 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func relErr(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestWindowEstimatorBasics(t *testing.T) {
+	e, err := NewWindowEstimator(2, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := e.Lambdas(); l[0] != 0 || l[1] != 0 {
+		t.Fatalf("empty estimator lambdas = %v", l)
+	}
+	if err := e.ObserveWindow([]float64{100, 50}, []float64{30, 15}); err != nil {
+		t.Fatal(err)
+	}
+	l := e.Lambdas()
+	if relErr(l[0], 0.1) > 1e-12 || relErr(l[1], 0.05) > 1e-12 {
+		t.Fatalf("lambdas = %v", l)
+	}
+	loads := e.Loads()
+	if relErr(loads[0], 0.03) > 1e-12 {
+		t.Fatalf("loads = %v", loads)
+	}
+}
+
+func TestWindowEstimatorAveragesHistory(t *testing.T) {
+	e, _ := NewWindowEstimator(1, 5, 1000)
+	for _, c := range []float64{100, 200, 300, 400, 500} {
+		if err := e.ObserveWindow([]float64{c}, []float64{c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mean of last 5 windows: 300 arrivals per 1000 tu.
+	if l := e.Lambdas(); relErr(l[0], 0.3) > 1e-12 {
+		t.Fatalf("lambda = %v, want 0.3", l[0])
+	}
+	// Sixth window evicts the first.
+	_ = e.ObserveWindow([]float64{600}, []float64{600})
+	if l := e.Lambdas(); relErr(l[0], 0.4) > 1e-12 {
+		t.Fatalf("lambda after eviction = %v, want 0.4", l[0])
+	}
+}
+
+func TestWindowEstimatorPartialFill(t *testing.T) {
+	e, _ := NewWindowEstimator(1, 5, 100)
+	_ = e.ObserveWindow([]float64{10}, []float64{10})
+	_ = e.ObserveWindow([]float64{20}, []float64{20})
+	// Two windows only: mean over 200 tu = 15/100.
+	if l := e.Lambdas(); relErr(l[0], 0.15) > 1e-12 {
+		t.Fatalf("partial-fill lambda = %v, want 0.15", l[0])
+	}
+}
+
+func TestWindowEstimatorValidation(t *testing.T) {
+	if _, err := NewWindowEstimator(0, 5, 1000); err == nil {
+		t.Error("accepted zero classes")
+	}
+	if _, err := NewWindowEstimator(1, 0, 1000); err == nil {
+		t.Error("accepted zero history")
+	}
+	if _, err := NewWindowEstimator(1, 5, 0); err == nil {
+		t.Error("accepted zero window")
+	}
+	e, _ := NewWindowEstimator(2, 5, 1000)
+	if err := e.ObserveWindow([]float64{1}, []float64{1, 2}); err != ErrDimension {
+		t.Error("dimension mismatch not detected")
+	}
+}
+
+func TestEWMAEstimatorConvergence(t *testing.T) {
+	e, err := NewEWMAEstimator(1, 0.3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant input converges exactly to the input rate.
+	for i := 0; i < 50; i++ {
+		_ = e.ObserveWindow([]float64{250}, []float64{75})
+	}
+	if l := e.Lambdas(); relErr(l[0], 0.25) > 1e-9 {
+		t.Fatalf("EWMA lambda = %v, want 0.25", l[0])
+	}
+	if w := e.Loads(); relErr(w[0], 0.075) > 1e-9 {
+		t.Fatalf("EWMA load = %v, want 0.075", w[0])
+	}
+}
+
+func TestEWMAPrimesOnFirstWindow(t *testing.T) {
+	e, _ := NewEWMAEstimator(1, 0.1, 100)
+	_ = e.ObserveWindow([]float64{40}, []float64{10})
+	// First observation primes directly (no decay from zero).
+	if l := e.Lambdas(); relErr(l[0], 0.4) > 1e-12 {
+		t.Fatalf("primed lambda = %v, want 0.4", l[0])
+	}
+}
+
+func TestEWMAReactsFasterThanWindow(t *testing.T) {
+	// After a step change, EWMA(α=0.5) should be closer to the new level
+	// than a 5-window mean after two windows.
+	ew, _ := NewEWMAEstimator(1, 0.5, 100)
+	win, _ := NewWindowEstimator(1, 5, 100)
+	for i := 0; i < 5; i++ {
+		_ = ew.ObserveWindow([]float64{10}, []float64{10})
+		_ = win.ObserveWindow([]float64{10}, []float64{10})
+	}
+	for i := 0; i < 2; i++ {
+		_ = ew.ObserveWindow([]float64{100}, []float64{100})
+		_ = win.ObserveWindow([]float64{100}, []float64{100})
+	}
+	newLevel := 1.0
+	gapEwma := math.Abs(ew.Lambdas()[0] - newLevel)
+	gapWin := math.Abs(win.Lambdas()[0] - newLevel)
+	if gapEwma >= gapWin {
+		t.Fatalf("EWMA gap %v not smaller than window gap %v", gapEwma, gapWin)
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	if _, err := NewEWMAEstimator(1, 0, 100); err == nil {
+		t.Error("accepted alpha=0")
+	}
+	if _, err := NewEWMAEstimator(1, 1.5, 100); err == nil {
+		t.Error("accepted alpha>1")
+	}
+}
+
+func TestRatioControllerConvergesOnBiasedPlant(t *testing.T) {
+	// Plant: measured ratio = 0.6 × (δeff ratio) — a systematically
+	// biased system. The controller must trim δeff so the measured ratio
+	// hits the target of 2.
+	rc, err := NewRatioController([]float64{1, 2}, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var measuredRatio float64
+	for i := 0; i < 60; i++ {
+		deltas := rc.Deltas()
+		measuredRatio = 0.6 * deltas[1] / deltas[0]
+		if err := rc.Update([]float64{1, measuredRatio}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if relErr(measuredRatio, 2) > 0.02 {
+		t.Fatalf("measured ratio converged to %v, want 2", measuredRatio)
+	}
+}
+
+func TestRatioControllerClamps(t *testing.T) {
+	rc, _ := NewRatioController([]float64{1, 2}, 1, 3)
+	// Feed absurd measurements driving δeff to the clamp.
+	for i := 0; i < 50; i++ {
+		_ = rc.Update([]float64{1, 1000})
+	}
+	d := rc.Deltas()
+	if d[1] < 2.0/3-1e-9 {
+		t.Fatalf("delta2 %v fell below clamp %v", d[1], 2.0/3)
+	}
+	for i := 0; i < 100; i++ {
+		_ = rc.Update([]float64{1, 0.001})
+	}
+	d = rc.Deltas()
+	if d[1] > 6+1e-9 {
+		t.Fatalf("delta2 %v above clamp 6", d[1])
+	}
+}
+
+func TestRatioControllerSkipsMissingData(t *testing.T) {
+	rc, _ := NewRatioController([]float64{1, 2}, 0.5, 4)
+	before := rc.Deltas()
+	_ = rc.Update([]float64{math.NaN(), 5}) // no reference signal
+	_ = rc.Update([]float64{1, math.NaN()}) // no class-1 signal
+	_ = rc.Update([]float64{1, 0})          // zero measurement
+	after := rc.Deltas()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("deltas changed on missing data: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestRatioControllerReset(t *testing.T) {
+	rc, _ := NewRatioController([]float64{1, 2}, 1, 4)
+	_ = rc.Update([]float64{1, 10})
+	rc.Reset()
+	d := rc.Deltas()
+	if d[0] != 1 || d[1] != 2 {
+		t.Fatalf("reset deltas = %v", d)
+	}
+}
+
+func TestRatioControllerValidation(t *testing.T) {
+	if _, err := NewRatioController(nil, 0.5, 4); err == nil {
+		t.Error("accepted empty targets")
+	}
+	if _, err := NewRatioController([]float64{1, -2}, 0.5, 4); err == nil {
+		t.Error("accepted negative delta")
+	}
+	if _, err := NewRatioController([]float64{1, 2}, 0, 4); err == nil {
+		t.Error("accepted zero gain")
+	}
+	if _, err := NewRatioController([]float64{1, 2}, 0.5, 1); err == nil {
+		t.Error("accepted maxTrim=1")
+	}
+	rc, _ := NewRatioController([]float64{1, 2}, 0.5, 4)
+	if err := rc.Update([]float64{1}); err != ErrDimension {
+		t.Error("dimension mismatch not detected")
+	}
+}
+
+// TestControllerIdentityPlantIsStable: when the plant already delivers the
+// target ratio, the controller must not drift.
+func TestControllerIdentityPlantIsStable(t *testing.T) {
+	f := func(rawGain float64) bool {
+		gain := 0.05 + math.Mod(math.Abs(rawGain), 1)*0.95
+		rc, err := NewRatioController([]float64{1, 3}, gain, 4)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			// Plant: measured ratio exactly tracks target.
+			if err := rc.Update([]float64{1, 3}); err != nil {
+				return false
+			}
+		}
+		d := rc.Deltas()
+		return relErr(d[1], 3) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// EqualShare splits capacity evenly regardless of demand or δ. It is the
+// naive baseline: it neither tracks load nor differentiates, so slowdown
+// ratios drift with per-class load. A class whose demand exceeds 1/N is
+// unstable under it; Allocate reports that as an error.
+type EqualShare struct{}
+
+// Name implements Allocator.
+func (EqualShare) Name() string { return "equal" }
+
+// Allocate implements Allocator.
+func (EqualShare) Allocate(classes []Class, w Workload) (Allocation, error) {
+	rho, err := validateClasses(classes, w)
+	if err != nil {
+		return Allocation{}, err
+	}
+	n := float64(len(classes))
+	rates := make([]float64, len(classes))
+	for i, c := range classes {
+		rates[i] = 1 / n
+		if c.Lambda*w.MeanSize >= rates[i] {
+			return Allocation{}, fmt.Errorf("%w: class %d demand %.4f >= equal share %.4f",
+				ErrInfeasible, i, c.Lambda*w.MeanSize, rates[i])
+		}
+	}
+	sl, err := SlowdownUnderRates(classes, w, rates)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return Allocation{Rates: rates, ExpectedSlowdowns: sl, Utilization: rho}, nil
+}
+
+// DemandProportional gives each class capacity proportional to its demand
+// λ_iE[X] — i.e. every class sees the same utilization on its task server.
+// It equalizes per-class *utilization*, not slowdown: all classes then
+// experience identical expected slowdowns (ratio 1), so it serves as the
+// "no differentiation, load-aware" baseline.
+type DemandProportional struct{}
+
+// Name implements Allocator.
+func (DemandProportional) Name() string { return "demand" }
+
+// Allocate implements Allocator.
+func (DemandProportional) Allocate(classes []Class, w Workload) (Allocation, error) {
+	rho, err := validateClasses(classes, w)
+	if err != nil {
+		return Allocation{}, err
+	}
+	rates := make([]float64, len(classes))
+	if rho == 0 {
+		for i := range rates {
+			rates[i] = 1 / float64(len(classes))
+		}
+	} else {
+		for i, c := range classes {
+			rates[i] = c.Lambda * w.MeanSize / rho
+		}
+	}
+	sl, err := SlowdownUnderRates(classes, w, rates)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return Allocation{Rates: rates, ExpectedSlowdowns: sl, Utilization: rho}, nil
+}
+
+// Static applies a fixed, demand-independent weight vector (normalized at
+// construction). It models an operator who provisions shares once and
+// never adapts; the predictability experiments show its slowdown ratios
+// wander with load.
+type Static struct {
+	weights []float64
+}
+
+// NewStatic builds a Static allocator from positive weights (normalized to
+// sum 1).
+func NewStatic(weights []float64) (*Static, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: no weights", ErrInfeasible)
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight %d = %v must be positive and finite", ErrInfeasible, i, w)
+		}
+		sum += w
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / sum
+	}
+	return &Static{weights: norm}, nil
+}
+
+// Name implements Allocator.
+func (s *Static) Name() string { return "static" }
+
+// Allocate implements Allocator.
+func (s *Static) Allocate(classes []Class, w Workload) (Allocation, error) {
+	rho, err := validateClasses(classes, w)
+	if err != nil {
+		return Allocation{}, err
+	}
+	if len(classes) != len(s.weights) {
+		return Allocation{}, fmt.Errorf("%w: %d classes for %d static weights",
+			ErrInfeasible, len(classes), len(s.weights))
+	}
+	rates := append([]float64(nil), s.weights...)
+	sl, err := SlowdownUnderRates(classes, w, rates)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return Allocation{Rates: rates, ExpectedSlowdowns: sl, Utilization: rho}, nil
+}
+
+// PDD allocates rates so that expected *queueing delays* (not slowdowns)
+// are proportional to δ — the server-side analogue of the rate-based
+// proportional delay differentiation schemes (BPR [Dovrolis et al.]) the
+// paper argues cannot provide PSD. By the P-K formula on task server i,
+//
+//	E[W_i] = λ_i E[X²] / (2 r_i (r_i − λ_iE[X]))
+//
+// and PDD requires E[W_i] = A·δ_i for some A > 0 with Σ r_i = 1.
+// For fixed A each class's rate is the positive root of
+// r² − λE[X]·r − λE[X²]/(2Aδ) = 0; Σr_i is strictly decreasing in A, so a
+// bisection on A finds the allocation. Including PDD lets the experiments
+// demonstrate *why* slowdown differentiation needs its own allocation:
+// slowdown on task server i is E[S_i] = E[W_i]·E[1/X_i] = E[W_i]·r_i·E[1/X]
+// (Lemma 2), so delay ratios of δ_i/δ_j yield slowdown ratios of
+// (δ_i·r_i)/(δ_j·r_j) — skewed by the rate split itself. This is the
+// paper's §1 argument that PDD schemes "are not applicable to PSD
+// provisioning"; the ablation bench quantifies the skew.
+type PDD struct{}
+
+// Name implements Allocator.
+func (PDD) Name() string { return "pdd" }
+
+// Allocate implements Allocator. The delay constraint
+// E[W_i] = λ_iE[X²]/(2 r_i(r_i − λ_iE[X])) = A·δ_i makes each rate the
+// positive root of r² − λE[X]·r − λE[X²]/(2Aδ) = 0; Σr_i is strictly
+// decreasing in A (limit ρ as A→∞, +∞ as A→0), so the shared bisection in
+// solveQuadraticShares pins A with Σr = 1.
+func (PDD) Allocate(classes []Class, w Workload) (Allocation, error) {
+	rho, err := validateClasses(classes, w)
+	if err != nil {
+		return Allocation{}, err
+	}
+	coeff := make([]float64, len(classes))
+	for i, c := range classes {
+		coeff[i] = c.Lambda * w.SecondMoment / 2
+	}
+	rates, err := solveQuadraticShares(classes, w, coeff)
+	if err != nil {
+		return Allocation{}, err
+	}
+	sl, err := SlowdownUnderRates(classes, w, rates)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return Allocation{Rates: rates, ExpectedSlowdowns: sl, Utilization: rho}, nil
+}
+
+var (
+	_ Allocator = EqualShare{}
+	_ Allocator = DemandProportional{}
+	_ Allocator = (*Static)(nil)
+	_ Allocator = PDD{}
+)

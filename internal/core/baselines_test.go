@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"psd/internal/dist"
+)
+
+func mustPaper() *dist.BoundedPareto { return dist.PaperDefault() }
+
+func TestEqualShare(t *testing.T) {
+	w := paperWorkload(t)
+	classes := equalLoadClasses([]float64{1, 2}, 0.6, w)
+	alloc, err := EqualShare{}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Rates[0] != 0.5 || alloc.Rates[1] != 0.5 {
+		t.Fatalf("rates = %v, want [0.5 0.5]", alloc.Rates)
+	}
+	// Equal loads + equal rates ⇒ identical slowdowns: no differentiation.
+	if relErr(alloc.ExpectedSlowdowns[0], alloc.ExpectedSlowdowns[1]) > 1e-12 {
+		t.Fatalf("equal share should not differentiate: %v", alloc.ExpectedSlowdowns)
+	}
+}
+
+func TestEqualShareOverloadedClass(t *testing.T) {
+	w := paperWorkload(t)
+	// Class 0 alone demands 0.6 > 0.5 share.
+	classes := []Class{
+		{Delta: 1, Lambda: 0.6 / w.MeanSize},
+		{Delta: 2, Lambda: 0.1 / w.MeanSize},
+	}
+	if _, err := (EqualShare{}).Allocate(classes, w); err == nil {
+		t.Fatal("equal share should reject class demand above its share")
+	}
+}
+
+func TestDemandProportionalEqualizesSlowdowns(t *testing.T) {
+	w := paperWorkload(t)
+	f := func(rawRho, rawSkew float64) bool {
+		rho := 0.1 + math.Mod(math.Abs(rawRho), 1)*0.8
+		skew := 0.1 + math.Mod(math.Abs(rawSkew), 1)*0.8
+		classes := []Class{
+			{Delta: 1, Lambda: rho * skew / w.MeanSize},
+			{Delta: 4, Lambda: rho * (1 - skew) / w.MeanSize},
+		}
+		alloc, err := DemandProportional{}.Allocate(classes, w)
+		if err != nil {
+			return false
+		}
+		// Demand-proportional rates equalize utilization, hence E[S].
+		return relErr(alloc.ExpectedSlowdowns[0], alloc.ExpectedSlowdowns[1]) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandProportionalZeroLoad(t *testing.T) {
+	w := paperWorkload(t)
+	classes := []Class{{Delta: 1, Lambda: 0}, {Delta: 2, Lambda: 0}}
+	alloc, err := DemandProportional{}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(alloc.Rates[0], 0.5) > 1e-12 {
+		t.Fatalf("zero-load split = %v", alloc.Rates)
+	}
+}
+
+func TestStaticAllocator(t *testing.T) {
+	w := paperWorkload(t)
+	st, err := NewStatic([]float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := equalLoadClasses([]float64{1, 2}, 0.4, w)
+	alloc, err := st.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(alloc.Rates[0], 0.75) > 1e-12 || relErr(alloc.Rates[1], 0.25) > 1e-12 {
+		t.Fatalf("static rates = %v, want [0.75 0.25]", alloc.Rates)
+	}
+}
+
+func TestStaticValidation(t *testing.T) {
+	if _, err := NewStatic(nil); err == nil {
+		t.Error("accepted empty weights")
+	}
+	if _, err := NewStatic([]float64{1, 0}); err == nil {
+		t.Error("accepted zero weight")
+	}
+	if _, err := NewStatic([]float64{1, -2}); err == nil {
+		t.Error("accepted negative weight")
+	}
+	st, _ := NewStatic([]float64{1, 1, 1})
+	w := paperWorkload(t)
+	if _, err := st.Allocate(equalLoadClasses([]float64{1, 2}, 0.3, w), w); err == nil {
+		t.Error("accepted class-count mismatch")
+	}
+}
+
+// TestPDDAchievesDelayRatios verifies the PDD baseline solves its own
+// objective: P-K waiting times under the computed rates are in ratio δ.
+func TestPDDAchievesDelayRatios(t *testing.T) {
+	w := paperWorkload(t)
+	f := func(rawRho, rawD2 float64) bool {
+		rho := 0.1 + math.Mod(math.Abs(rawRho), 1)*0.8
+		d2 := 1.5 + math.Mod(math.Abs(rawD2), 1)*6
+		classes := equalLoadClasses([]float64{1, d2}, rho, w)
+		alloc, err := PDD{}.Allocate(classes, w)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, r := range alloc.Rates {
+			sum += r
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return false
+		}
+		// E[W_i] = λ_iE[X²]/(2 r_i (r_i − λ_iE[X]))
+		wait := func(i int) float64 {
+			c := classes[i]
+			r := alloc.Rates[i]
+			return c.Lambda * w.SecondMoment / (2 * r * (r - c.Lambda*w.MeanSize))
+		}
+		return relErr(wait(1)/wait(0), d2) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPDDSlowdownRatiosSkewed confirms the paper's argument: the PDD
+// allocation yields slowdown ratios of δ₂·r₂/(δ₁·r₁) ≠ δ₂/δ₁ whenever the
+// rates differ, so PDD cannot provide PSD.
+func TestPDDSlowdownRatiosSkewed(t *testing.T) {
+	w := paperWorkload(t)
+	classes := equalLoadClasses([]float64{1, 4}, 0.6, w)
+	alloc, err := PDD{}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRatio := alloc.ExpectedSlowdowns[1] / alloc.ExpectedSlowdowns[0]
+	wantSkewed := 4 * alloc.Rates[1] / alloc.Rates[0]
+	if relErr(slowRatio, wantSkewed) > 1e-4 {
+		t.Fatalf("slowdown ratio %v, expected skewed %v", slowRatio, wantSkewed)
+	}
+	if relErr(slowRatio, 4) < 0.01 {
+		t.Fatalf("PDD accidentally achieved the PSD target ratio %v — rates %v", slowRatio, alloc.Rates)
+	}
+}
+
+func TestPDDAllIdle(t *testing.T) {
+	w := paperWorkload(t)
+	classes := []Class{{Delta: 1, Lambda: 0}, {Delta: 2, Lambda: 0}}
+	alloc, err := PDD{}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(alloc.Rates[0]+alloc.Rates[1], 1) > 1e-9 {
+		t.Fatalf("idle PDD rates = %v", alloc.Rates)
+	}
+}
+
+func TestPDDWithIdleClass(t *testing.T) {
+	w := paperWorkload(t)
+	classes := []Class{
+		{Delta: 1, Lambda: 0.4 / w.MeanSize},
+		{Delta: 2, Lambda: 0},
+	}
+	alloc, err := PDD{}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Rates[0] < 0.999 {
+		t.Fatalf("active class should absorb idle capacity, rates = %v", alloc.Rates)
+	}
+}
+
+// TestAllAllocatorsStableRates: every allocator returns rates that keep
+// every active class stable and sum to ≤ 1 (+ε).
+func TestAllAllocatorsStableRates(t *testing.T) {
+	w := paperWorkload(t)
+	st, _ := NewStatic([]float64{2, 1})
+	allocators := []Allocator{PSD{}, DemandProportional{}, st, PDD{}}
+	for _, rho := range []float64{0.2, 0.5, 0.8} {
+		classes := equalLoadClasses([]float64{1, 2}, rho, w)
+		for _, a := range allocators {
+			alloc, err := a.Allocate(classes, w)
+			if err != nil {
+				// Static with weights (2/3, 1/3): class 1 gets 1/3 and
+				// demands rho/2; stable when rho/2 < 1/3, i.e. rho < 2/3.
+				continue
+			}
+			sum := 0.0
+			for i, r := range alloc.Rates {
+				sum += r
+				if classes[i].Lambda > 0 && r <= classes[i].Lambda*w.MeanSize {
+					// Static allocators may legitimately starve a class;
+					// the prediction must then be +Inf, not bogus.
+					if !math.IsInf(alloc.ExpectedSlowdowns[i], 1) {
+						t.Errorf("%s rho=%v class %d starved but slowdown=%v",
+							a.Name(), rho, i, alloc.ExpectedSlowdowns[i])
+					}
+				}
+			}
+			if sum > 1+1e-9 {
+				t.Errorf("%s rho=%v rates sum to %v > 1", a.Name(), rho, sum)
+			}
+		}
+	}
+}
+
+func BenchmarkPSDAllocate(b *testing.B) {
+	w, _ := WorkloadFromDist(mustPaper())
+	classes := equalLoadClasses([]float64{1, 2, 3}, 0.7, w)
+	for i := 0; i < b.N; i++ {
+		if _, err := (PSD{}).Allocate(classes, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPDDAllocate(b *testing.B) {
+	w, _ := WorkloadFromDist(mustPaper())
+	classes := equalLoadClasses([]float64{1, 2, 3}, 0.7, w)
+	for i := 0; i < b.N; i++ {
+		if _, err := (PDD{}).Allocate(classes, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package core implements the paper's primary contribution: processing
+// rate allocation for proportional slowdown differentiation (PSD) on
+// Internet servers.
+//
+// A server of normalized capacity 1 is partitioned among N task servers,
+// one per request class; task server i receives rate r_i and serves its
+// class FCFS. Class i carries a differentiation parameter δ_i
+// (1 = δ_1 ≤ δ_2 ≤ … ≤ δ_N; smaller δ ⇒ better service) and offers a
+// Poisson stream of rate λ_i with job sizes drawn i.i.d. from a common
+// heavy-tailed distribution. The PSD model (Eq. 16) requires
+//
+//	E[S_i]/E[S_j] = δ_i/δ_j    for all classes i, j
+//
+// By Theorem 1 the slowdown on task server i is
+// E[S_i] = λ_i·E[X²]·E[1/X] / (2(r_i − λ_iE[X])), and solving the PSD
+// constraints under Σr_i = 1 gives the allocation (Eq. 17):
+//
+//	r_i = λ_iE[X] + (λ_i/δ_i)·(1 − ρ) / Σ_j (λ_j/δ_j)
+//
+// — class i's raw demand plus a share of the surplus capacity (1−ρ)
+// proportional to its δ-scaled arrival rate. The achieved slowdown
+// (Eq. 18) is then δ_i·C·Σ_j(λ_j/δ_j)/(1−ρ) with C = E[X²]E[1/X]/2.
+//
+// Besides the PSD allocator, the package provides the baseline allocators
+// used by the ablation benchmarks: equal share, demand-proportional, a PDD
+// (proportional *delay*) allocator solved by bisection, and static
+// weights. All allocators implement the Allocator interface consumed by
+// the simulator (internal/simsrv) and the HTTP front end
+// (internal/httpsrv).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"psd/internal/dist"
+	"psd/internal/queueing"
+)
+
+// Class describes one request class's contract and current demand.
+type Class struct {
+	// Delta is the differentiation parameter δ_i > 0; smaller is better
+	// service. By convention class 0 (the highest class) has δ = 1.
+	Delta float64
+	// Lambda is the class arrival rate in requests per time unit.
+	Lambda float64
+}
+
+// Workload captures the moments of the job-size distribution that the
+// allocators need. Sizes are in work units against the full server's unit
+// rate.
+type Workload struct {
+	MeanSize      float64 // E[X]
+	SecondMoment  float64 // E[X²]
+	InverseMoment float64 // E[1/X]
+}
+
+// WorkloadFromDist extracts the Workload moments from a distribution.
+func WorkloadFromDist(d dist.Distribution) (Workload, error) {
+	inv := d.InverseMoment()
+	if math.IsInf(inv, 1) || math.IsNaN(inv) {
+		return Workload{}, fmt.Errorf("core: %w: E[1/X] diverges for %s", ErrInfeasible, d)
+	}
+	return Workload{MeanSize: d.Mean(), SecondMoment: d.SecondMoment(), InverseMoment: inv}, nil
+}
+
+// SlowdownConstant returns C = E[X²]·E[1/X]/2 for the workload.
+func (w Workload) SlowdownConstant() float64 {
+	return w.SecondMoment * w.InverseMoment / 2
+}
+
+// Validate checks the workload moments are usable.
+func (w Workload) Validate() error {
+	if !(w.MeanSize > 0) || math.IsInf(w.MeanSize, 0) {
+		return fmt.Errorf("core: mean size %v must be positive and finite", w.MeanSize)
+	}
+	if !(w.SecondMoment > 0) || math.IsInf(w.SecondMoment, 0) {
+		return fmt.Errorf("core: second moment %v must be positive and finite", w.SecondMoment)
+	}
+	if !(w.InverseMoment > 0) || math.IsInf(w.InverseMoment, 0) {
+		return fmt.Errorf("core: inverse moment %v must be positive and finite", w.InverseMoment)
+	}
+	if w.SecondMoment < w.MeanSize*w.MeanSize {
+		return fmt.Errorf("core: E[X²]=%v < E[X]²=%v violates Jensen", w.SecondMoment, w.MeanSize*w.MeanSize)
+	}
+	return nil
+}
+
+// Allocation is the result of a rate-allocation decision over a capacity-1
+// server.
+type Allocation struct {
+	// Rates holds r_i per class; Σ Rates = 1 for work-exhausting
+	// allocators.
+	Rates []float64
+	// ExpectedSlowdowns holds the model-predicted E[S_i] under Rates
+	// (NaN for classes whose prediction is unavailable).
+	ExpectedSlowdowns []float64
+	// Utilization is ρ = Σ λ_iE[X].
+	Utilization float64
+}
+
+// ErrInfeasible reports demands that no allocation can serve (ρ ≥ 1) or
+// malformed inputs.
+var ErrInfeasible = errors.New("core: infeasible allocation")
+
+// Allocator computes a rate split for the given classes and workload.
+// Implementations must return rates summing to ≤ 1 with r_i > λ_iE[X] for
+// every class with λ_i > 0, or an error.
+type Allocator interface {
+	Allocate(classes []Class, w Workload) (Allocation, error)
+	Name() string
+}
+
+// validateClasses performs the shared input checking.
+func validateClasses(classes []Class, w Workload) (rho float64, err error) {
+	if len(classes) == 0 {
+		return 0, fmt.Errorf("%w: no classes", ErrInfeasible)
+	}
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	for i, c := range classes {
+		if !(c.Delta > 0) || math.IsInf(c.Delta, 0) || math.IsNaN(c.Delta) {
+			return 0, fmt.Errorf("%w: class %d delta %v must be positive and finite", ErrInfeasible, i, c.Delta)
+		}
+		if c.Lambda < 0 || math.IsInf(c.Lambda, 0) || math.IsNaN(c.Lambda) {
+			return 0, fmt.Errorf("%w: class %d lambda %v must be finite and non-negative", ErrInfeasible, i, c.Lambda)
+		}
+		rho += c.Lambda * w.MeanSize
+	}
+	if rho >= 1 {
+		return 0, fmt.Errorf("%w: utilization %.4f >= 1", ErrInfeasible, rho)
+	}
+	return rho, nil
+}
+
+// PSD is the paper's rate-allocation strategy (Eq. 17). The zero value is
+// ready to use.
+type PSD struct{}
+
+// Name implements Allocator.
+func (PSD) Name() string { return "psd" }
+
+// Allocate implements Eq. 17 and computes Eq. 18 predictions.
+//
+// Classes with λ_i = 0 receive zero rate and a zero predicted slowdown:
+// with no arrivals there is no queueing, and reserving surplus for an idle
+// class would only inflate the others' slowdowns.
+func (PSD) Allocate(classes []Class, w Workload) (Allocation, error) {
+	rho, err := validateClasses(classes, w)
+	if err != nil {
+		return Allocation{}, err
+	}
+	sumScaled := 0.0 // Σ λ_j/δ_j
+	for _, c := range classes {
+		sumScaled += c.Lambda / c.Delta
+	}
+	alloc := Allocation{
+		Rates:             make([]float64, len(classes)),
+		ExpectedSlowdowns: make([]float64, len(classes)),
+		Utilization:       rho,
+	}
+	if sumScaled == 0 {
+		// No demand at all: split capacity evenly (arbitrary but total).
+		for i := range alloc.Rates {
+			alloc.Rates[i] = 1 / float64(len(classes))
+		}
+		return alloc, nil
+	}
+	c := w.SlowdownConstant()
+	surplus := 1 - rho
+	for i, cl := range classes {
+		alloc.Rates[i] = cl.Lambda*w.MeanSize + (cl.Lambda/cl.Delta)*surplus/sumScaled
+		if cl.Lambda == 0 {
+			alloc.ExpectedSlowdowns[i] = 0
+			continue
+		}
+		// Eq. 18: E[S_i] = δ_i·C·Σ(λ_j/δ_j)/(1−ρ)
+		alloc.ExpectedSlowdowns[i] = cl.Delta * c * sumScaled / surplus
+	}
+	return alloc, nil
+}
+
+// ExpectedSlowdown returns Eq. 18 directly for class i without building a
+// full Allocation.
+func ExpectedSlowdown(classes []Class, w Workload, i int) (float64, error) {
+	if i < 0 || i >= len(classes) {
+		return 0, fmt.Errorf("core: class index %d out of range", i)
+	}
+	rho, err := validateClasses(classes, w)
+	if err != nil {
+		return 0, err
+	}
+	if classes[i].Lambda == 0 {
+		return 0, nil
+	}
+	sumScaled := 0.0
+	for _, c := range classes {
+		sumScaled += c.Lambda / c.Delta
+	}
+	return classes[i].Delta * w.SlowdownConstant() * sumScaled / (1 - rho), nil
+}
+
+// SlowdownUnderRates evaluates Theorem 1 for each class under an arbitrary
+// rate vector (not necessarily the PSD allocation); used to predict what
+// baseline allocators achieve. Returns +Inf for overloaded classes.
+func SlowdownUnderRates(classes []Class, w Workload, rates []float64) ([]float64, error) {
+	if len(rates) != len(classes) {
+		return nil, fmt.Errorf("core: %d rates for %d classes", len(rates), len(classes))
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	c := w.SlowdownConstant()
+	out := make([]float64, len(classes))
+	for i, cl := range classes {
+		if cl.Lambda == 0 {
+			out[i] = 0
+			continue
+		}
+		surplus := rates[i] - cl.Lambda*w.MeanSize
+		if surplus <= 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = cl.Lambda * c / surplus
+	}
+	return out, nil
+}
+
+// Feasible reports whether the classes' total demand fits in unit
+// capacity with strictly positive surplus.
+func Feasible(classes []Class, w Workload) bool {
+	_, err := validateClasses(classes, w)
+	return err == nil
+}
+
+// MaxStableLoad returns the largest total utilization ρ < 1 at which the
+// PSD allocation keeps every class's queue stable. For the PSD allocator
+// any ρ < 1 is stable (each class receives strictly more than its demand
+// whenever λ_i > 0), so this returns 1 as the supremum; it exists for API
+// symmetry with allocators whose stability region is smaller.
+func MaxStableLoad(Allocator) float64 { return 1 }
+
+var _ Allocator = PSD{}
+
+// TheoremSlowdown re-exports Theorem 1 via the queueing package for
+// convenience: mean slowdown of a λ-rate class on a rate-r task server
+// whose job sizes follow d.
+func TheoremSlowdown(lambda float64, d dist.Distribution, rate float64) (float64, error) {
+	return queueing.TaskServerSlowdown(lambda, d, rate)
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"psd/internal/dist"
+)
+
+func wl(t testing.TB, d dist.Distribution) Workload {
+	t.Helper()
+	w, err := WorkloadFromDist(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestHPSDCollapsesToPSDForSharedLaw: with one shared distribution the
+// heterogeneous allocator must equal Eq. 17 exactly.
+func TestHPSDCollapsesToPSDForSharedLaw(t *testing.T) {
+	w := paperWorkload(t)
+	f := func(rawRho, rawD2 float64) bool {
+		rho := 0.05 + math.Mod(math.Abs(rawRho), 1)*0.9
+		d2 := 1 + math.Mod(math.Abs(rawD2), 1)*7
+		classes := equalLoadClasses([]float64{1, d2}, rho, w)
+		a1, err1 := PSD{}.Allocate(classes, w)
+		a2, err2 := HeterogeneousPSD{}.Allocate(classes, w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range classes {
+			if relErr(a1.Rates[i], a2.Rates[i]) > 1e-9 {
+				return false
+			}
+			if relErr(a1.ExpectedSlowdowns[i], a2.ExpectedSlowdowns[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHPSDAchievesRatiosAcrossLaws: with genuinely different per-class
+// size distributions, slowdowns evaluated by Theorem 1 under the
+// generalized rates sit exactly in ratio δ.
+func TestHPSDAchievesRatiosAcrossLaws(t *testing.T) {
+	bp := wl(t, dist.PaperDefault())
+	uni := wl(t, must(dist.NewUniform(0.2, 3)))
+	det := wl(t, must(dist.NewDeterministic(0.8)))
+	workloads := []Workload{bp, uni, det}
+	classes := []Class{
+		{Delta: 1, Lambda: 0.2 / bp.MeanSize * 0.8},
+		{Delta: 2, Lambda: 0.2 / uni.MeanSize * 0.8},
+		{Delta: 3, Lambda: 0.2 / det.MeanSize * 0.8},
+	}
+	alloc, err := HeterogeneousPSD{}.AllocatePerClass(classes, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range alloc.Rates {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("rates sum to %v", sum)
+	}
+	sl, err := SlowdownUnderRatesPerClass(classes, workloads, alloc.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(classes); i++ {
+		got := sl[i] / sl[0]
+		want := classes[i].Delta
+		if relErr(got, want) > 1e-9 {
+			t.Errorf("class %d ratio %v, want %v", i, got, want)
+		}
+	}
+	// Eq. 18 analogue matches the direct evaluation.
+	for i := range classes {
+		if relErr(alloc.ExpectedSlowdowns[i], sl[i]) > 1e-9 {
+			t.Errorf("class %d predicted %v vs direct %v", i, alloc.ExpectedSlowdowns[i], sl[i])
+		}
+	}
+}
+
+// TestPSDSharedAllocatorFailsAcrossLaws demonstrates why the
+// generalization matters: handing the shared-law allocator the wrong
+// moments yields materially non-proportional slowdowns on heterogeneous
+// traffic.
+func TestPSDSharedAllocatorFailsAcrossLaws(t *testing.T) {
+	bp := wl(t, dist.PaperDefault())
+	// Class 2's true law is 10× larger jobs.
+	big := wl(t, must(dist.NewUniform(2, 6)))
+	workloads := []Workload{bp, big}
+	classes := []Class{
+		{Delta: 1, Lambda: 0.25 / bp.MeanSize},
+		{Delta: 2, Lambda: 0.25 / big.MeanSize},
+	}
+	// The shared-law allocator believes everything is Bounded Pareto.
+	alloc, err := PSD{}.Allocate(classes, bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := SlowdownUnderRatesPerClass(classes, workloads, alloc.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sl[1] / sl[0]
+	if !math.IsInf(got, 1) && relErr(got, 2) < 0.25 {
+		t.Fatalf("shared-law allocation accidentally achieved the target on heterogeneous traffic (ratio %v)", got)
+	}
+	// The heterogeneous allocator fixes it.
+	halloc, err := HeterogeneousPSD{}.AllocatePerClass(classes, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsl, err := SlowdownUnderRatesPerClass(classes, workloads, halloc.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(hsl[1]/hsl[0], 2) > 1e-9 {
+		t.Fatalf("heterogeneous allocation ratio %v, want 2", hsl[1]/hsl[0])
+	}
+}
+
+func TestHPSDValidation(t *testing.T) {
+	w := paperWorkload(t)
+	if _, err := (HeterogeneousPSD{}).AllocatePerClass(nil, nil); err == nil {
+		t.Error("accepted empty classes")
+	}
+	if _, err := (HeterogeneousPSD{}).AllocatePerClass(
+		[]Class{{Delta: 1, Lambda: 0.1}}, []Workload{}); err == nil {
+		t.Error("accepted mismatched workloads")
+	}
+	over := []Class{{Delta: 1, Lambda: 10 / w.MeanSize}}
+	if _, err := (HeterogeneousPSD{}).AllocatePerClass(over, []Workload{w}); err == nil {
+		t.Error("accepted overload")
+	}
+	bad := []Class{{Delta: 0, Lambda: 0.1}}
+	if _, err := (HeterogeneousPSD{}).AllocatePerClass(bad, []Workload{w}); err == nil {
+		t.Error("accepted zero delta")
+	}
+}
+
+func TestHPSDAllIdle(t *testing.T) {
+	w := paperWorkload(t)
+	classes := []Class{{Delta: 1, Lambda: 0}, {Delta: 2, Lambda: 0}}
+	alloc, err := HeterogeneousPSD{}.AllocatePerClass(classes, []Workload{w, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(alloc.Rates[0], 0.5) > 1e-12 {
+		t.Fatalf("idle split = %v", alloc.Rates)
+	}
+}
+
+func TestSlowdownUnderRatesPerClassEdgeCases(t *testing.T) {
+	w := paperWorkload(t)
+	classes := []Class{{Delta: 1, Lambda: 0.5 / w.MeanSize}, {Delta: 2, Lambda: 0}}
+	sl, err := SlowdownUnderRatesPerClass(classes, []Workload{w, w}, []float64{0.05, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(sl[0], 1) {
+		t.Error("starved class should be +Inf")
+	}
+	if sl[1] != 0 {
+		t.Error("idle class should be 0")
+	}
+	if _, err := SlowdownUnderRatesPerClass(classes, []Workload{w}, []float64{1, 0}); err == nil {
+		t.Error("accepted mismatched workload count")
+	}
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

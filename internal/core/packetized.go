@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PacketizedPSD computes PSD weights for a *packetized* single-processor
+// server under continuous backlog: one processor serves whole requests at
+// full speed, and a weighted-fair scheduler (internal/sched's SCFQ, DRR,
+// Lottery, …) picks which class's head-of-line request runs next, so a
+// backlogged class's queue drains at rate w_i.
+//
+// Two things change versus the fluid task-server model behind Eq. 17.
+// First, a dispatched request runs at full speed (service time x, not
+// x/r_i), so the E[1/X_i] = r_i·E[1/X] factor that cancels the rate from
+// the waiting time in Theorem 1 is gone; modeling class i as an M/G/1
+// queue emptied at rate w_i,
+//
+//	E[S_i] = E[W_i]·E[1/X] ≈ λ_i·E[X²]·E[1/X] / (2·w_i·(w_i − λ_iE[X]))
+//
+// Imposing E[S_i] = A·δ_i makes each weight the positive root of
+// w² − λE[X]·w − λ·E[X²]·E[1/X]/(2Aδ) = 0, with Σw_i = 1 pinning A by
+// bisection (Σw is strictly decreasing in A).
+//
+// Second — and decisively — the per-class drain-rate-w_i model only holds
+// while the class stays backlogged. A work-conserving scheduler at
+// moderate load rarely has both classes queued, so reordering alone
+// yields only weak differentiation no matter the weights (Kleinrock's
+// conservation law bounds what any work-conserving discipline can trade
+// between classes). internal/simsrv.RunPacketized demonstrates this
+// empirically; it is the reproduction's justification for the paper's
+// non-work-conserving capacity partition, which "wastes" surplus to hold
+// the slowdown gap open at every load. Use PacketizedPSD when the server
+// genuinely operates near saturation; use the partitioned task-server
+// model (core.PSD + simsrv.Run) for load-independent guarantees.
+type PacketizedPSD struct{}
+
+// Name implements Allocator.
+func (PacketizedPSD) Name() string { return "ppsd" }
+
+// Allocate implements Allocator.
+func (PacketizedPSD) Allocate(classes []Class, w Workload) (Allocation, error) {
+	rho, err := validateClasses(classes, w)
+	if err != nil {
+		return Allocation{}, err
+	}
+	// Per-class quadratic coefficient: λ_i·E[X²]·E[1/X]/2 (the only
+	// difference from the PDD baseline's λ_i·E[X²]/2).
+	coeff := make([]float64, len(classes))
+	for i, c := range classes {
+		coeff[i] = c.Lambda * w.SecondMoment * w.InverseMoment / 2
+	}
+	rates, err := solveQuadraticShares(classes, w, coeff)
+	if err != nil {
+		return Allocation{}, err
+	}
+	// Predicted slowdowns under the packetized model.
+	sl := make([]float64, len(classes))
+	for i, c := range classes {
+		if c.Lambda == 0 {
+			continue
+		}
+		surplus := rates[i] * (rates[i] - c.Lambda*w.MeanSize)
+		if surplus <= 0 {
+			sl[i] = math.Inf(1)
+			continue
+		}
+		sl[i] = coeff[i] / surplus
+	}
+	return Allocation{Rates: rates, ExpectedSlowdowns: sl, Utilization: rho}, nil
+}
+
+// PacketizedSlowdown predicts the mean slowdown of class i on a
+// packetized weighted server: λ·E[X²]·E[1/X] / (2·w·(w − λE[X])).
+func PacketizedSlowdown(lambda float64, w Workload, weight float64) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if lambda == 0 {
+		return 0, nil
+	}
+	if lambda < 0 || !(weight > 0) {
+		return 0, fmt.Errorf("%w: lambda=%v weight=%v", ErrInfeasible, lambda, weight)
+	}
+	surplus := weight - lambda*w.MeanSize
+	if surplus <= 0 {
+		return math.Inf(1), nil
+	}
+	return lambda * w.SecondMoment * w.InverseMoment / (2 * weight * surplus), nil
+}
+
+// solveQuadraticShares finds shares w_i = (b_i + √(b_i² + 4·coeff_i/(Aδ_i)))/2
+// summing to 1, where b_i = λ_iE[X]. Shared by the PDD baseline and
+// PacketizedPSD — both impose a per-class metric of the form
+// coeff_i/(w_i(w_i − b_i)) = A·δ_i.
+func solveQuadraticShares(classes []Class, w Workload, coeff []float64) ([]float64, error) {
+	active := 0
+	for _, c := range classes {
+		if c.Lambda > 0 {
+			active++
+		}
+	}
+	rates := make([]float64, len(classes))
+	if active == 0 {
+		for i := range rates {
+			rates[i] = 1 / float64(len(classes))
+		}
+		return rates, nil
+	}
+	ratesFor := func(a float64) ([]float64, float64) {
+		rs := make([]float64, len(classes))
+		total := 0.0
+		for i, c := range classes {
+			if c.Lambda == 0 {
+				continue
+			}
+			b := c.Lambda * w.MeanSize
+			q := coeff[i] / (a * c.Delta)
+			rs[i] = (b + math.Sqrt(b*b+4*q)) / 2
+			total += rs[i]
+		}
+		return rs, total
+	}
+	lo, hi := 1e-12, 1.0
+	for {
+		if _, total := ratesFor(hi); total <= 1 {
+			break
+		}
+		hi *= 2
+		if hi > 1e18 {
+			return nil, fmt.Errorf("%w: share bisection failed to bracket", ErrInfeasible)
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := math.Sqrt(lo * hi)
+		if _, total := ratesFor(mid); total > 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	final, total := ratesFor(hi)
+	if total > 0 && total < 1 {
+		residual := 1 - total
+		for i := range final {
+			if classes[i].Lambda > 0 {
+				final[i] += residual * final[i] / total
+			}
+		}
+	}
+	copy(rates, final)
+	return rates, nil
+}
+
+var _ Allocator = PacketizedPSD{}

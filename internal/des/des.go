@@ -1,0 +1,167 @@
+// Package des is a minimal discrete-event simulation core: a simulation
+// clock plus a pending-event set ordered by (time, insertion sequence).
+//
+// Determinism is a design requirement — the paper's experiments average
+// 100 independent replications, and reproducing a replication exactly
+// (given its seed) is what makes the figure harness and the regression
+// tests meaningful. Two mechanisms provide it: the event heap breaks time
+// ties by insertion sequence (FIFO among simultaneous events), and
+// cancellation is lazy (events carry a flag, popped-and-dead events are
+// skipped) so heap order never depends on cancellation timing.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Event is a scheduled callback. Events are created by Simulator.Schedule*
+// and may be canceled; a canceled event is skipped when its time comes.
+type Event struct {
+	time     float64
+	seq      uint64
+	action   func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Time returns the simulation time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the clock and the pending-event set. The zero value is a
+// simulator at time 0 with no events.
+type Simulator struct {
+	now  float64
+	heap eventHeap
+	seq  uint64
+	// processed counts events actually executed (not canceled).
+	processed uint64
+}
+
+// New returns an empty simulator at time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events still scheduled (including
+// canceled-but-unpopped ones).
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// ErrPast reports scheduling before the current simulation time.
+var ErrPast = errors.New("des: cannot schedule event in the past")
+
+// Schedule registers fn to run after the given non-negative delay and
+// returns the event handle. It panics on negative or NaN delays —
+// scheduling into the past is always a programming error in a
+// discrete-event model.
+func (s *Simulator) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(ErrPast)
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt registers fn to run at absolute time t ≥ Now().
+func (s *Simulator) ScheduleAt(t float64, fn func()) *Event {
+	if t < s.now || math.IsNaN(t) {
+		panic(ErrPast)
+	}
+	e := &Event{time: t, seq: s.seq, action: fn}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// Cancel marks an event so it will not fire. Canceling an already-fired or
+// already-canceled event is a no-op. The event is removed from the heap
+// immediately if still enqueued, keeping the pending set tight under
+// frequent reschedules (the task servers reschedule completions on every
+// rate change).
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&s.heap, e.index)
+	}
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (s *Simulator) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.time
+		s.processed++
+		e.action()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the clock would pass horizon;
+// the clock finishes exactly at horizon. Events scheduled at exactly the
+// horizon DO fire (closed interval), matching the "measure for 60,000 time
+// units" convention.
+func (s *Simulator) RunUntil(horizon float64) {
+	for len(s.heap) > 0 {
+		if s.heap[0].time > horizon {
+			break
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run executes events until none remain.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// Drain discards all pending events without running them.
+func (s *Simulator) Drain() {
+	s.heap = nil
+}

@@ -1,0 +1,285 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"psd/internal/rng"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events", len(fired))
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events out of order: %v", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1.0, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	s := New()
+	var hits []float64
+	s.Schedule(1, func() {
+		hits = append(hits, s.Now())
+		s.Schedule(2, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	e := s.Schedule(1, func() { ran = true })
+	s.Cancel(e)
+	s.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if !e.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	// Double cancel and nil cancel are no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelRemovesFromHeap(t *testing.T) {
+	s := New()
+	events := make([]*Event, 100)
+	for i := range events {
+		events[i] = s.Schedule(float64(i), func() {})
+	}
+	for _, e := range events[:50] {
+		s.Cancel(e)
+	}
+	if s.Pending() != 50 {
+		t.Fatalf("pending = %d after eager removal, want 50", s.Pending())
+	}
+}
+
+func TestCancelDuringExecution(t *testing.T) {
+	s := New()
+	ran := false
+	var victim *Event
+	s.Schedule(1, func() { s.Cancel(victim) })
+	victim = s.Schedule(2, func() { ran = true })
+	s.Run()
+	if ran {
+		t.Fatal("event canceled by an earlier event still ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3, 4, 5} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3 (inclusive horizon)", len(fired))
+	}
+	if s.Now() != 3 {
+		t.Fatalf("time = %v, want exactly horizon", s.Now())
+	}
+	s.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("remaining events not run: %d", len(fired))
+	}
+	if s.Now() != 10 {
+		t.Fatalf("time should advance to horizon even with no events: %v", s.Now())
+	}
+}
+
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	s := New()
+	ran := false
+	s.Schedule(3, func() { ran = true })
+	s.RunUntil(3)
+	if !ran {
+		t.Fatal("event at exactly the horizon should fire")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.Schedule(-1, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	s.ScheduleAt(1, func() {})
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Schedule(float64(i), func() {})
+	}
+	e := s.Schedule(100, func() {})
+	s.Cancel(e)
+	s.Run()
+	if s.Processed() != 10 {
+		t.Fatalf("processed = %d, want 10", s.Processed())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := New()
+	ran := false
+	s.Schedule(1, func() { ran = true })
+	s.Drain()
+	s.Run()
+	if ran || s.Pending() != 0 {
+		t.Fatal("drain did not clear events")
+	}
+}
+
+// TestDeterministicReplay runs the same randomized event program twice and
+// requires identical execution traces.
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		r := rng.New(seed)
+		s := New()
+		var trace []float64
+		var spawn func()
+		count := 0
+		spawn = func() {
+			trace = append(trace, s.Now())
+			count++
+			if count < 2000 {
+				s.Schedule(r.ExpFloat64(1), spawn)
+				if r.Float64() < 0.3 {
+					e := s.Schedule(r.Float64()*5, func() { trace = append(trace, -s.Now()) })
+					if r.Float64() < 0.5 {
+						s.Cancel(e)
+					}
+				}
+			}
+		}
+		s.Schedule(0, spawn)
+		s.Run()
+		return trace
+	}
+	a := run(42)
+	b := run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHeapOrderingProperty: any set of delays is executed in sorted order.
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := New()
+		var delays []float64
+		for _, d := range raw {
+			if d >= 0 && d < 1e12 { // finite, non-negative
+				delays = append(delays, d)
+			}
+		}
+		var fired []float64
+		for _, d := range delays {
+			d := d
+			s.Schedule(d, func() { fired = append(fired, d) })
+		}
+		s.Run()
+		return sort.Float64sAreSorted(fired) && len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyReschedules(t *testing.T) {
+	// Emulates the task-server pattern: repeatedly cancel + reschedule a
+	// completion event. The heap must stay consistent.
+	s := New()
+	completions := 0
+	var e *Event
+	for i := 0; i < 1000; i++ {
+		if e != nil {
+			s.Cancel(e)
+		}
+		e = s.Schedule(float64(1000-i), func() { completions++ })
+	}
+	s.Run()
+	if completions != 1 {
+		t.Fatalf("completions = %d, want exactly 1 (last scheduled)", completions)
+	}
+	if s.Now() != 1 {
+		t.Fatalf("final time = %v, want 1", s.Now())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	s := New()
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		s.Schedule(r.Float64()*100, func() {})
+		if s.Pending() > 1024 {
+			for s.Pending() > 512 {
+				s.Step()
+			}
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkCancelReschedule(b *testing.B) {
+	s := New()
+	var e *Event
+	for i := 0; i < b.N; i++ {
+		if e != nil {
+			s.Cancel(e)
+		}
+		e = s.ScheduleAt(s.Now()+1+float64(i%7), func() {})
+	}
+}

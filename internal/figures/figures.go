@@ -1,0 +1,446 @@
+// Package figures regenerates every figure of the paper's evaluation
+// (§4, Figures 2–12) from the simulation model. Each FigureN function
+// returns the plotted data series; cmd/psdfig renders them as CSV or
+// aligned tables, bench_test.go runs reduced-fidelity versions, and
+// EXPERIMENTS.md records the outcomes.
+//
+// Figure inventory (see DESIGN.md §5 for the experiment index):
+//
+//	Fig 2   sim vs expected slowdown, 2 classes, δ=(1,2), load sweep
+//	Fig 3   same with δ=(1,4)
+//	Fig 4   same with 3 classes δ=(1,2,3)
+//	Fig 5   5/50/95th pct of per-window S₂/S₁ ratios, δ₂∈{2,4,8}
+//	Fig 6   same for 3 classes (ratios 2/1 and 3/1)
+//	Fig 7   per-request slowdowns in [60000,61000] at 50% load
+//	Fig 8   same at 90% load
+//	Fig 9   mean achieved ratio vs load, δ₂∈{2,4,8}
+//	Fig 10  mean achieved ratios, 3 classes
+//	Fig 11  slowdown vs shape α∈[1,2] (sim + expected)
+//	Fig 12  slowdown vs upper bound p∈{100,1000,10000}
+//
+// The paper's full fidelity is Runs=100 over a 60000-tu horizon; Options
+// scales both down for quick runs.
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"psd/internal/dist"
+	"psd/internal/simsrv"
+)
+
+// Options control fidelity and provenance.
+type Options struct {
+	// Runs is the number of replications per point (paper: 100).
+	Runs int
+	// Horizon is the measured duration per run (paper: 60000).
+	Horizon float64
+	// Warmup precedes the horizon (paper: 10000).
+	Warmup float64
+	// Seed bases the replication seeds.
+	Seed uint64
+	// Loads overrides the default load sweep {0.05, 0.1, …, 0.95}.
+	Loads []float64
+}
+
+// Defaults returns the paper-fidelity options.
+func Defaults() Options {
+	return Options{Runs: 100, Horizon: 60000, Warmup: 10000}
+}
+
+// Quick returns reduced-fidelity options for benches and smoke runs.
+func Quick() Options {
+	return Options{Runs: 10, Horizon: 15000, Warmup: 2000}
+}
+
+func (o Options) withDefaults() Options {
+	d := Defaults()
+	if o.Runs == 0 {
+		o.Runs = d.Runs
+	}
+	if o.Horizon == 0 {
+		o.Horizon = d.Horizon
+	}
+	if o.Warmup == 0 {
+		o.Warmup = d.Warmup
+	}
+	if len(o.Loads) == 0 {
+		o.Loads = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	}
+	return o
+}
+
+// Series is one plotted curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is one regenerated figure.
+type Figure struct {
+	ID     int
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  string
+}
+
+func (o Options) config(deltas []float64, rho float64, svc dist.Distribution) simsrv.Config {
+	cfg := simsrv.EqualLoadConfig(deltas, rho, svc)
+	cfg.Warmup = o.Warmup
+	cfg.Horizon = o.Horizon
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// simVsExpected produces the Figure 2/3/4 layout for arbitrary deltas.
+func simVsExpected(id int, deltas []float64, opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Simulated and expected slowdowns, deltas=%v", deltas),
+		XLabel: "System load (%)",
+		YLabel: "Slowdown (log)",
+	}
+	n := len(deltas)
+	sim := make([]Series, n)
+	exp := make([]Series, n)
+	for i := range deltas {
+		sim[i] = Series{Name: fmt.Sprintf("Class %d (simulated)", i+1)}
+		exp[i] = Series{Name: fmt.Sprintf("Class %d (expected)", i+1)}
+	}
+	sys := Series{Name: "System (simulated)"}
+	for _, rho := range opts.Loads {
+		agg, err := simsrv.RunReplications(opts.config(deltas, rho, nil), opts.Runs)
+		if err != nil {
+			return Figure{}, fmt.Errorf("figure %d at load %v: %w", id, rho, err)
+		}
+		for i := range deltas {
+			sim[i].X = append(sim[i].X, rho*100)
+			sim[i].Y = append(sim[i].Y, agg.MeanSlowdowns[i])
+			exp[i].X = append(exp[i].X, rho*100)
+			exp[i].Y = append(exp[i].Y, agg.ExpectedSlowdowns[i])
+		}
+		sys.X = append(sys.X, rho*100)
+		sys.Y = append(sys.Y, agg.SystemSlowdown)
+	}
+	fig.Series = append(fig.Series, sim...)
+	fig.Series = append(fig.Series, exp...)
+	fig.Series = append(fig.Series, sys)
+	return fig, nil
+}
+
+// Figure2 reproduces Figure 2: δ=(1,2).
+func Figure2(opts Options) (Figure, error) { return simVsExpected(2, []float64{1, 2}, opts) }
+
+// Figure3 reproduces Figure 3: δ=(1,4).
+func Figure3(opts Options) (Figure, error) { return simVsExpected(3, []float64{1, 4}, opts) }
+
+// Figure4 reproduces Figure 4: three classes, δ=(1,2,3).
+func Figure4(opts Options) (Figure, error) { return simVsExpected(4, []float64{1, 2, 3}, opts) }
+
+// Figure5 reproduces Figure 5: percentiles (5/50/95) of the per-window
+// achieved slowdown ratio S₂/S₁ for δ₂/δ₁ ∈ {2, 4, 8}.
+func Figure5(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     5,
+		Title:  "Percentiles of simulated slowdown ratios, two classes",
+		XLabel: "System load (%)",
+		YLabel: "Slowdown ratio (Class 2 / Class 1)",
+		Notes:  "Per pre-specified ratio: p05/p50/p95 series from pooled per-window ratios.",
+	}
+	for _, d2 := range []float64{2, 4, 8} {
+		p05 := Series{Name: fmt.Sprintf("d2/d1=%g p05", d2)}
+		p50 := Series{Name: fmt.Sprintf("d2/d1=%g p50", d2)}
+		p95 := Series{Name: fmt.Sprintf("d2/d1=%g p95", d2)}
+		for _, rho := range opts.Loads {
+			agg, err := simsrv.RunReplications(opts.config([]float64{1, d2}, rho, nil), opts.Runs)
+			if err != nil {
+				return Figure{}, fmt.Errorf("figure 5 d2=%v load %v: %w", d2, rho, err)
+			}
+			rs := agg.RatioSummaries[1]
+			p05.X = append(p05.X, rho*100)
+			p05.Y = append(p05.Y, rs.P05)
+			p50.X = append(p50.X, rho*100)
+			p50.Y = append(p50.Y, rs.P50)
+			p95.X = append(p95.X, rho*100)
+			p95.Y = append(p95.Y, rs.P95)
+		}
+		fig.Series = append(fig.Series, p05, p50, p95)
+	}
+	return fig, nil
+}
+
+// Figure6 reproduces Figure 6: ratio percentiles for three classes,
+// δ=(1,2,3): S₂/S₁ (target 2) and S₃/S₁ (target 3).
+func Figure6(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     6,
+		Title:  "Percentiles of simulated slowdown ratios, three classes",
+		XLabel: "System load (%)",
+		YLabel: "Slowdown ratio",
+	}
+	targets := []struct {
+		idx  int
+		name string
+	}{
+		{1, "Class2/Class1 (d2/d1=2)"},
+		{2, "Class3/Class1 (d3/d1=3)"},
+	}
+	series := make([][3]Series, len(targets))
+	for ti, tg := range targets {
+		series[ti][0] = Series{Name: tg.name + " p05"}
+		series[ti][1] = Series{Name: tg.name + " p50"}
+		series[ti][2] = Series{Name: tg.name + " p95"}
+	}
+	for _, rho := range opts.Loads {
+		agg, err := simsrv.RunReplications(opts.config([]float64{1, 2, 3}, rho, nil), opts.Runs)
+		if err != nil {
+			return Figure{}, fmt.Errorf("figure 6 load %v: %w", rho, err)
+		}
+		for ti, tg := range targets {
+			rs := agg.RatioSummaries[tg.idx]
+			for pi, v := range []float64{rs.P05, rs.P50, rs.P95} {
+				series[ti][pi].X = append(series[ti][pi].X, rho*100)
+				series[ti][pi].Y = append(series[ti][pi].Y, v)
+			}
+		}
+	}
+	for ti := range series {
+		fig.Series = append(fig.Series, series[ti][0], series[ti][1], series[ti][2])
+	}
+	return fig, nil
+}
+
+// individualRequests produces the Figures 7/8 layout: slowdowns of
+// individual requests completing in [60000, 61000] at the given load.
+func individualRequests(id int, rho float64, opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	cfg := opts.config([]float64{1, 2}, rho, nil)
+	// The record window sits at the paper's [60000, 61000] when the
+	// horizon allows; otherwise the last full window of the run.
+	from := 60000.0
+	if opts.Warmup+opts.Horizon < 61000 {
+		from = opts.Warmup + opts.Horizon - 1000
+	}
+	cfg.RecordRequests = true
+	cfg.RecordFrom = from
+	cfg.RecordTo = from + 1000
+	res, err := simsrv.Run(cfg)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure %d: %w", id, err)
+	}
+	fig := Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Slowdown of individual requests, system load %.0f%%", rho*100),
+		XLabel: "Time (time unit)",
+		YLabel: "Slowdown",
+		Notes:  fmt.Sprintf("Requests completing in [%.0f, %.0f); single run, seed %d.", from, from+1000, cfg.Seed),
+	}
+	s1 := Series{Name: "Class 1 (simulated)"}
+	s2 := Series{Name: "Class 2 (simulated)"}
+	for _, r := range res.Records {
+		switch r.Class {
+		case 0:
+			s1.X = append(s1.X, r.Completion)
+			s1.Y = append(s1.Y, r.Slowdown)
+		case 1:
+			s2.X = append(s2.X, r.Completion)
+			s2.Y = append(s2.Y, r.Slowdown)
+		}
+	}
+	fig.Series = []Series{s1, s2}
+	return fig, nil
+}
+
+// Figure7 reproduces Figure 7: individual slowdowns at 50% load.
+func Figure7(opts Options) (Figure, error) { return individualRequests(7, 0.5, opts) }
+
+// Figure8 reproduces Figure 8: individual slowdowns at 90% load, where
+// the paper observes short-timescale inversions of the target ordering.
+func Figure8(opts Options) (Figure, error) { return individualRequests(8, 0.9, opts) }
+
+// Figure9 reproduces Figure 9: mean achieved slowdown ratios of two
+// classes vs load for δ₂/δ₁ ∈ {2, 4, 8}.
+func Figure9(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     9,
+		Title:  "Simulated slowdown ratios of two classes",
+		XLabel: "System load (%)",
+		YLabel: "Slowdown ratio",
+	}
+	for _, d2 := range []float64{2, 4, 8} {
+		s := Series{Name: fmt.Sprintf("Class2/Class1 (d2/d1=%g)", d2)}
+		for _, rho := range opts.Loads {
+			agg, err := simsrv.RunReplications(opts.config([]float64{1, d2}, rho, nil), opts.Runs)
+			if err != nil {
+				return Figure{}, fmt.Errorf("figure 9 d2=%v load %v: %w", d2, rho, err)
+			}
+			s.X = append(s.X, rho*100)
+			s.Y = append(s.Y, agg.MeanRatios[1])
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure10 reproduces Figure 10: mean achieved ratios for three classes.
+func Figure10(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     10,
+		Title:  "Simulated slowdown ratios of three classes",
+		XLabel: "System load (%)",
+		YLabel: "Slowdown ratio",
+	}
+	s21 := Series{Name: "Class2/Class1 (d2/d1=2)"}
+	s31 := Series{Name: "Class3/Class1 (d3/d1=3)"}
+	for _, rho := range opts.Loads {
+		agg, err := simsrv.RunReplications(opts.config([]float64{1, 2, 3}, rho, nil), opts.Runs)
+		if err != nil {
+			return Figure{}, fmt.Errorf("figure 10 load %v: %w", rho, err)
+		}
+		s21.X = append(s21.X, rho*100)
+		s21.Y = append(s21.Y, agg.MeanRatios[1])
+		s31.X = append(s31.X, rho*100)
+		s31.Y = append(s31.Y, agg.MeanRatios[2])
+	}
+	fig.Series = []Series{s21, s31}
+	return fig, nil
+}
+
+// Figure11 reproduces Figure 11: influence of the Bounded Pareto shape
+// parameter α ∈ [1.0, 2.0] on the two classes' slowdowns (δ=(1,2)) at a
+// fixed 70% load (the paper does not state its load; 70% reproduces the
+// 10–1000 slowdown range of its y-axis).
+func Figure11(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     11,
+		Title:  "Influence of the shape parameter of the Bounded Pareto distribution",
+		XLabel: "Shape parameter alpha",
+		YLabel: "Slowdown (log)",
+		Notes:  "Fixed system load 70%, k=0.1, p=100, deltas=(1,2).",
+	}
+	sim1 := Series{Name: "Class 1 (simulated)"}
+	sim2 := Series{Name: "Class 2 (simulated)"}
+	exp1 := Series{Name: "Class 1 (expected)"}
+	exp2 := Series{Name: "Class 2 (expected)"}
+	for _, alpha := range []float64{1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0} {
+		svc, err := dist.NewBoundedPareto(0.1, 100, alpha)
+		if err != nil {
+			return Figure{}, err
+		}
+		agg, err := simsrv.RunReplications(opts.config([]float64{1, 2}, 0.7, svc), opts.Runs)
+		if err != nil {
+			return Figure{}, fmt.Errorf("figure 11 alpha=%v: %w", alpha, err)
+		}
+		sim1.X = append(sim1.X, alpha)
+		sim1.Y = append(sim1.Y, agg.MeanSlowdowns[0])
+		sim2.X = append(sim2.X, alpha)
+		sim2.Y = append(sim2.Y, agg.MeanSlowdowns[1])
+		exp1.X = append(exp1.X, alpha)
+		exp1.Y = append(exp1.Y, agg.ExpectedSlowdowns[0])
+		exp2.X = append(exp2.X, alpha)
+		exp2.Y = append(exp2.Y, agg.ExpectedSlowdowns[1])
+	}
+	fig.Series = []Series{sim1, sim2, exp1, exp2}
+	return fig, nil
+}
+
+// Figure12 reproduces Figure 12: influence of the Bounded Pareto upper
+// bound p ∈ {100, 1000, 10000} (δ=(1,2), fixed 70% load).
+func Figure12(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     12,
+		Title:  "Influence of the upper bound of the Bounded Pareto distribution",
+		XLabel: "Upper bound p (log)",
+		YLabel: "Slowdown (log)",
+		Notes:  "Fixed system load 70%, k=0.1, alpha=1.5, deltas=(1,2).",
+	}
+	sim1 := Series{Name: "Class 1 (simulated)"}
+	sim2 := Series{Name: "Class 2 (simulated)"}
+	exp1 := Series{Name: "Class 1 (expected)"}
+	exp2 := Series{Name: "Class 2 (expected)"}
+	for _, p := range []float64{100, 1000, 10000} {
+		svc, err := dist.NewBoundedPareto(0.1, p, 1.5)
+		if err != nil {
+			return Figure{}, err
+		}
+		agg, err := simsrv.RunReplications(opts.config([]float64{1, 2}, 0.7, svc), opts.Runs)
+		if err != nil {
+			return Figure{}, fmt.Errorf("figure 12 p=%v: %w", p, err)
+		}
+		sim1.X = append(sim1.X, p)
+		sim1.Y = append(sim1.Y, agg.MeanSlowdowns[0])
+		sim2.X = append(sim2.X, p)
+		sim2.Y = append(sim2.Y, agg.MeanSlowdowns[1])
+		exp1.X = append(exp1.X, p)
+		exp1.Y = append(exp1.Y, agg.ExpectedSlowdowns[0])
+		exp2.X = append(exp2.X, p)
+		exp2.Y = append(exp2.Y, agg.ExpectedSlowdowns[1])
+	}
+	fig.Series = []Series{sim1, sim2, exp1, exp2}
+	return fig, nil
+}
+
+// Generate runs one figure by ID (2–12).
+func Generate(id int, opts Options) (Figure, error) {
+	gens := map[int]func(Options) (Figure, error){
+		2: Figure2, 3: Figure3, 4: Figure4, 5: Figure5, 6: Figure6,
+		7: Figure7, 8: Figure8, 9: Figure9, 10: Figure10, 11: Figure11, 12: Figure12,
+	}
+	g, ok := gens[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("figures: no figure %d (valid: 2-12)", id)
+	}
+	return g(opts)
+}
+
+// All regenerates every figure.
+func All(opts Options) ([]Figure, error) {
+	out := make([]Figure, 0, 11)
+	for id := 2; id <= 12; id++ {
+		f, err := Generate(id, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// MaxAbsRelGap returns the largest |sim−expected|/expected across paired
+// "simulated"/"expected" series of a figure, used by regression tests to
+// quantify model agreement. Returns NaN if the figure has no such pairs.
+func MaxAbsRelGap(f Figure) float64 {
+	worst := math.NaN()
+	for _, s := range f.Series {
+		if len(s.Name) < 12 || s.Name[len(s.Name)-11:] != "(simulated)" {
+			continue
+		}
+		expName := s.Name[:len(s.Name)-11] + "(expected)"
+		for _, e := range f.Series {
+			if e.Name != expName {
+				continue
+			}
+			for i := range s.Y {
+				if i >= len(e.Y) || e.Y[i] == 0 {
+					continue
+				}
+				gap := math.Abs(s.Y[i]-e.Y[i]) / math.Abs(e.Y[i])
+				if math.IsNaN(worst) || gap > worst {
+					worst = gap
+				}
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,88 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits a figure as long-form CSV: series,x,y.
+func WriteCSV(w io.Writer, f Figure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderTable formats a figure as an aligned text table, series as
+// columns over the union of x values.
+func RenderTable(f Figure) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure %d: %s\n", f.ID, f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(&sb, "  %s\n", f.Notes)
+	}
+	// Union of X values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	// Header.
+	fmt.Fprintf(&sb, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %24s", truncate(s.Name, 24))
+	}
+	sb.WriteByte('\n')
+	// Rows.
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%-12.4g", x)
+		for _, s := range f.Series {
+			v, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(&sb, " %24.4f", v)
+			} else {
+				fmt.Fprintf(&sb, " %24s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i := range s.X {
+		if s.X[i] == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,525 @@
+// Package httpsrv applies the PSD rate-allocation strategy to a real
+// net/http server.
+//
+// Architecture (the paper's Fig. 1 realized on the HTTP path):
+//
+//	requests → classifier → per-class FCFS queue → per-class task-server
+//	goroutine (paced to its allocated rate) → response
+//
+// Each incoming request is classified (X-PSD-Class header or ?class=
+// query parameter), assigned a service demand in work units (?size= or
+// drawn from the configured distribution), and queued. One worker
+// goroutine per class serves its queue FCFS; a request of size x served
+// while the class holds rate r occupies the worker for x/r × TimeUnit of
+// wall-clock time, emulating a processor share of r on CPU-bound work. A
+// background loop re-runs the allocator every Window using the
+// control.WindowEstimator, exactly like the simulator.
+//
+// Slowdown is measured per request as queueing delay divided by actual
+// service duration, and exposed — along with rates and load estimates —
+// at the metrics endpoint as JSON.
+package httpsrv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"psd/internal/control"
+	"psd/internal/core"
+	"psd/internal/dist"
+	"psd/internal/rng"
+	"psd/internal/stats"
+)
+
+// Config parametrizes the server.
+type Config struct {
+	// Deltas are the per-class differentiation parameters (class 0
+	// should be 1 by convention). len(Deltas) defines the class count.
+	Deltas []float64
+	// Service is the size law used when a request does not declare
+	// ?size= (default: the paper's Bounded Pareto).
+	Service dist.Distribution
+	// Allocator computes rate splits (default core.PSD).
+	Allocator core.Allocator
+	// TimeUnit is the wall-clock duration of one simulated time unit: a
+	// size-1 request at rate 1 occupies its worker for TimeUnit.
+	// Default 10ms.
+	TimeUnit time.Duration
+	// Window is the reallocation period in time units (default 100).
+	Window float64
+	// HistoryWindows is the estimator depth (default 5).
+	HistoryWindows int
+	// QueueCapacity bounds each class queue; excess requests receive
+	// 503. Default 4096.
+	QueueCapacity int
+	// Feedback enables the control.RatioController trim loop on
+	// measured slowdown ratios (the paper's future-work extension).
+	Feedback bool
+	// FeedbackGain is the controller gain when Feedback is on
+	// (default 0.3).
+	FeedbackGain float64
+	// Seed drives the server-side size sampling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Service == nil {
+		c.Service = dist.PaperDefault()
+	}
+	if c.Allocator == nil {
+		c.Allocator = core.PSD{}
+	}
+	if c.TimeUnit == 0 {
+		c.TimeUnit = 10 * time.Millisecond
+	}
+	if c.Window == 0 {
+		c.Window = 100
+	}
+	if c.HistoryWindows == 0 {
+		c.HistoryWindows = 5
+	}
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 4096
+	}
+	if c.FeedbackGain == 0 {
+		c.FeedbackGain = 0.3
+	}
+	return c
+}
+
+// job is one queued request.
+type job struct {
+	size     float64
+	enqueued time.Time
+	done     chan jobResult
+}
+
+type jobResult struct {
+	delay    time.Duration
+	service  time.Duration
+	slowdown float64
+}
+
+// classRuntime is one task server.
+type classRuntime struct {
+	queue chan *job
+
+	mu         sync.Mutex
+	rate       float64
+	arrivals   float64 // current-window count
+	work       float64 // current-window work
+	slow       stats.Welford
+	windowSlow stats.Welford // reset each window, feeds the controller
+	lastWindow float64       // last closed window's mean slowdown (NaN if none)
+}
+
+// Server is the PSD HTTP front end. Create with New, then use as an
+// http.Handler; Close releases the workers.
+type Server struct {
+	cfg      Config
+	workload core.Workload
+	classes  []*classRuntime
+	est      *control.WindowEstimator
+	ctrl     *control.RatioController
+
+	sizeMu  sync.Mutex
+	sizeRng *rng.Source
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	started time.Time
+}
+
+// New builds and starts a Server (workers + reallocation loop).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Deltas) == 0 {
+		return nil, errors.New("httpsrv: no classes")
+	}
+	for i, d := range cfg.Deltas {
+		if !(d > 0) {
+			return nil, fmt.Errorf("httpsrv: delta[%d] = %v must be positive", i, d)
+		}
+	}
+	w, err := core.WorkloadFromDist(cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+	est, err := control.NewWindowEstimator(len(cfg.Deltas), cfg.HistoryWindows, cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		workload: w,
+		est:      est,
+		sizeRng:  rng.New(cfg.Seed),
+		ctx:      ctx,
+		cancel:   cancel,
+		started:  time.Now(),
+	}
+	if cfg.Feedback {
+		ctrl, err := control.NewRatioController(cfg.Deltas, cfg.FeedbackGain, 8)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.ctrl = ctrl
+	}
+	s.classes = make([]*classRuntime, len(cfg.Deltas))
+	even := 1 / float64(len(cfg.Deltas))
+	for i := range s.classes {
+		s.classes[i] = &classRuntime{
+			queue:      make(chan *job, cfg.QueueCapacity),
+			rate:       even,
+			lastWindow: math.NaN(),
+		}
+	}
+	for i := range s.classes {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	s.wg.Add(1)
+	go s.reallocLoop()
+	return s, nil
+}
+
+// Close stops the workers and the reallocation loop. Queued jobs are
+// failed fast.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// worker is the task server for one class: FCFS, paced to the class rate.
+func (s *Server) worker(class int) {
+	defer s.wg.Done()
+	cr := s.classes[class]
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-cr.queue:
+			start := time.Now()
+			delay := start.Sub(j.enqueued)
+			rate := cr.currentRate()
+			if rate <= 0 {
+				rate = 1e-3
+			}
+			serviceDur := time.Duration(j.size / rate * float64(s.cfg.TimeUnit))
+			if !s.occupy(start.Add(serviceDur)) {
+				close(j.done)
+				return
+			}
+			service := time.Since(start)
+			slowdown := 0.0
+			if service > 0 {
+				slowdown = float64(delay) / float64(service)
+			}
+			cr.recordSlowdown(slowdown)
+			j.done <- jobResult{delay: delay, service: service, slowdown: slowdown}
+		}
+	}
+}
+
+// occupy blocks the worker until the deadline, emulating CPU-bound work.
+// Timers in Go routinely overshoot by hundreds of microseconds, which
+// would silently tax slow classes (whose utilization sits closest to 1)
+// and skew the achieved slowdown ratios; so the bulk of the wait uses a
+// timer and the final stretch spins on the clock. Returns false if the
+// server shut down mid-service.
+func (s *Server) occupy(deadline time.Time) bool {
+	const spinWindow = 500 * time.Microsecond
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return true
+		}
+		if remain > spinWindow {
+			select {
+			case <-time.After(remain - spinWindow):
+			case <-s.ctx.Done():
+				return false
+			}
+			continue
+		}
+		// Spin the last stretch; stay shutdown-responsive.
+		select {
+		case <-s.ctx.Done():
+			return false
+		default:
+		}
+	}
+}
+
+func (cr *classRuntime) currentRate() float64 {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.rate
+}
+
+func (cr *classRuntime) recordSlowdown(sl float64) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	cr.slow.Add(sl)
+	cr.windowSlow.Add(sl)
+}
+
+func (cr *classRuntime) observeArrival(size float64) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	cr.arrivals++
+	cr.work += size
+}
+
+// closeWindow harvests and resets the per-window accumulators.
+func (cr *classRuntime) closeWindow() (count, work, meanSlow float64) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	count, work = cr.arrivals, cr.work
+	cr.arrivals, cr.work = 0, 0
+	if cr.windowSlow.N() > 0 {
+		meanSlow = cr.windowSlow.Mean()
+	} else {
+		meanSlow = math.NaN()
+	}
+	cr.lastWindow = meanSlow
+	cr.windowSlow = stats.Welford{}
+	return count, work, meanSlow
+}
+
+func (cr *classRuntime) setRate(r float64) {
+	cr.mu.Lock()
+	cr.rate = r
+	cr.mu.Unlock()
+}
+
+// reallocLoop closes estimation windows and re-runs the allocator.
+func (s *Server) reallocLoop() {
+	defer s.wg.Done()
+	period := time.Duration(s.cfg.Window * float64(s.cfg.TimeUnit))
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+			s.reallocate()
+		}
+	}
+}
+
+// reallocate performs one estimation/allocation step. Exposed via the
+// metrics of how many reallocations happened; also called by tests
+// directly for determinism.
+func (s *Server) reallocate() {
+	n := len(s.classes)
+	counts := make([]float64, n)
+	works := make([]float64, n)
+	slows := make([]float64, n)
+	for i, cr := range s.classes {
+		counts[i], works[i], slows[i] = cr.closeWindow()
+	}
+	if err := s.est.ObserveWindow(counts, works); err != nil {
+		return
+	}
+	deltas := s.cfg.Deltas
+	if s.ctrl != nil {
+		_ = s.ctrl.Update(slows)
+		deltas = s.ctrl.Deltas()
+	}
+	lambdas := s.est.Lambdas()
+	classes := make([]core.Class, n)
+	for i := range classes {
+		classes[i] = core.Class{Delta: deltas[i], Lambda: lambdas[i]}
+	}
+	alloc, err := s.cfg.Allocator.Allocate(classes, s.workload)
+	if err != nil {
+		return // transient infeasibility: keep previous rates
+	}
+	for i, cr := range s.classes {
+		cr.setRate(alloc.Rates[i])
+	}
+}
+
+// classify extracts the request's class (header beats query), clamped to
+// the configured range; absent/invalid values map to the lowest class.
+func (s *Server) classify(r *http.Request) int {
+	v := r.Header.Get("X-PSD-Class")
+	if v == "" {
+		v = r.URL.Query().Get("class")
+	}
+	c, err := strconv.Atoi(v)
+	if err != nil || c < 0 {
+		return len(s.cfg.Deltas) - 1 // unclassified traffic gets the lowest tier
+	}
+	if c >= len(s.cfg.Deltas) {
+		return len(s.cfg.Deltas) - 1
+	}
+	return c
+}
+
+// sizeOf extracts the declared work size or samples the configured law.
+func (s *Server) sizeOf(r *http.Request) (float64, error) {
+	if v := r.URL.Query().Get("size"); v != "" {
+		size, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(size > 0) || math.IsInf(size, 0) {
+			return 0, fmt.Errorf("httpsrv: invalid size %q", v)
+		}
+		return size, nil
+	}
+	s.sizeMu.Lock()
+	defer s.sizeMu.Unlock()
+	return s.cfg.Service.Sample(s.sizeRng), nil
+}
+
+// Response is the JSON body returned for served work requests.
+type Response struct {
+	Class     int     `json:"class"`
+	Size      float64 `json:"size"`
+	DelayMs   float64 `json:"delay_ms"`
+	ServiceMs float64 `json:"service_ms"`
+	Slowdown  float64 `json:"slowdown"`
+}
+
+// ServeHTTP implements http.Handler: every request is classified, queued,
+// served by its class's task server, and answered with its measured
+// slowdown. GET /metrics (or the path the caller mounts Metrics on)
+// should be routed to the Metrics handler instead.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	class := s.classify(r)
+	size, err := s.sizeOf(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cr := s.classes[class]
+	j := &job{size: size, enqueued: time.Now(), done: make(chan jobResult, 1)}
+	cr.observeArrival(size)
+	select {
+	case cr.queue <- j:
+	default:
+		http.Error(w, "class queue full", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case res, ok := <-j.done:
+		if !ok {
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(Response{
+			Class:     class,
+			Size:      size,
+			DelayMs:   float64(res.delay) / float64(time.Millisecond),
+			ServiceMs: float64(res.service) / float64(time.Millisecond),
+			Slowdown:  res.slowdown,
+		})
+	case <-r.Context().Done():
+		// Client gave up; the worker will still drain the job.
+	case <-s.ctx.Done():
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	}
+}
+
+// ClassMetrics is the per-class section of the metrics document.
+type ClassMetrics struct {
+	Delta          float64 `json:"delta"`
+	EffectiveDelta float64 `json:"effective_delta"`
+	Rate           float64 `json:"rate"`
+	LambdaEstimate float64 `json:"lambda_estimate"`
+	Served         int64   `json:"served"`
+	MeanSlowdown   float64 `json:"mean_slowdown"`
+	WindowSlowdown float64 `json:"window_slowdown"`
+	QueueDepth     int     `json:"queue_depth"`
+}
+
+// MetricsDocument is the full metrics payload.
+type MetricsDocument struct {
+	UptimeSeconds  float64        `json:"uptime_seconds"`
+	Classes        []ClassMetrics `json:"classes"`
+	SlowdownRatios []float64      `json:"slowdown_ratios"`
+}
+
+// jsonSafe maps NaN/Inf (which encoding/json rejects) to 0; absent
+// measurements read as zero in the document.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Snapshot assembles the current metrics.
+func (s *Server) Snapshot() MetricsDocument {
+	lambdas := s.est.Lambdas()
+	deltas := s.cfg.Deltas
+	if s.ctrl != nil {
+		deltas = s.ctrl.Deltas()
+	}
+	doc := MetricsDocument{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Classes:        make([]ClassMetrics, len(s.classes)),
+		SlowdownRatios: make([]float64, len(s.classes)),
+	}
+	var base float64
+	for i, cr := range s.classes {
+		cr.mu.Lock()
+		cm := ClassMetrics{
+			Delta:          s.cfg.Deltas[i],
+			EffectiveDelta: deltas[i],
+			Rate:           cr.rate,
+			LambdaEstimate: lambdas[i],
+			Served:         cr.slow.N(),
+			MeanSlowdown:   jsonSafe(cr.slow.Mean()),
+			WindowSlowdown: jsonSafe(cr.lastWindow),
+			QueueDepth:     len(cr.queue),
+		}
+		cr.mu.Unlock()
+		doc.Classes[i] = cm
+		if i == 0 {
+			base = cm.MeanSlowdown
+		}
+		if base > 0 {
+			doc.SlowdownRatios[i] = cm.MeanSlowdown / base
+		}
+	}
+	return doc
+}
+
+// Metrics returns an http.Handler serving the JSON metrics document.
+func (s *Server) Metrics() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Snapshot())
+	})
+}
+
+// Mux returns a ready-to-serve mux: work at "/", metrics at "/metrics".
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.Metrics())
+	mux.Handle("/", s)
+	return mux
+}
+
+// Rates returns the current per-class rates (for tests and dashboards).
+func (s *Server) Rates() []float64 {
+	out := make([]float64, len(s.classes))
+	for i, cr := range s.classes {
+		out[i] = cr.currentRate()
+	}
+	return out
+}

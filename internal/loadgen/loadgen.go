@@ -1,0 +1,215 @@
+// Package loadgen drives HTTP load at a PSD server (internal/httpsrv):
+// one open-loop Poisson arrival process per class, sizes drawn from a
+// configurable law, with client-side latency and server-reported slowdown
+// collection. It backs cmd/psdload and the httpserver example.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"psd/internal/dist"
+	"psd/internal/rng"
+	"psd/internal/stats"
+)
+
+// Config parametrizes a load run.
+type Config struct {
+	// BaseURL is the work endpoint (e.g. "http://127.0.0.1:8080/").
+	BaseURL string
+	// Lambdas are the per-class arrival rates in requests per *time
+	// unit*; TimeUnit converts to wall-clock (must match the server's).
+	Lambdas []float64
+	// TimeUnit is the wall-clock duration of one time unit (default
+	// 10ms, matching httpsrv's default).
+	TimeUnit time.Duration
+	// Service draws request sizes client-side so the server and client
+	// agree on the demand (default: the paper's Bounded Pareto).
+	Service dist.Distribution
+	// Duration is the wall-clock length of the run.
+	Duration time.Duration
+	// Seed drives the arrival and size streams.
+	Seed uint64
+	// Client optionally overrides the HTTP client.
+	Client *http.Client
+}
+
+// ClassReport aggregates one class's observations.
+type ClassReport struct {
+	Sent          int64
+	Completed     int64
+	Errors        int64
+	MeanSlowdown  float64 // server-reported
+	P95Slowdown   float64
+	MeanLatencyMs float64 // client-observed end-to-end
+	MeanServiceMs float64 // server-reported
+}
+
+// Report is the run outcome.
+type Report struct {
+	Classes []ClassReport
+	Elapsed time.Duration
+}
+
+// serverResponse mirrors httpsrv.Response.
+type serverResponse struct {
+	Slowdown  float64 `json:"slowdown"`
+	ServiceMs float64 `json:"service_ms"`
+}
+
+type classCollector struct {
+	mu        sync.Mutex
+	sent      int64
+	completed int64
+	errors    int64
+	slow      stats.Welford
+	slowP95   *stats.P2
+	latency   stats.Welford
+	service   stats.Welford
+}
+
+// Run drives the configured load until Duration elapses (or ctx is
+// canceled) and returns the aggregated report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL required")
+	}
+	if _, err := url.Parse(cfg.BaseURL); err != nil {
+		return nil, fmt.Errorf("loadgen: bad BaseURL: %w", err)
+	}
+	if len(cfg.Lambdas) == 0 {
+		return nil, errors.New("loadgen: no class lambdas")
+	}
+	if cfg.TimeUnit == 0 {
+		cfg.TimeUnit = 10 * time.Millisecond
+	}
+	if cfg.Service == nil {
+		cfg.Service = dist.PaperDefault()
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration %v must be positive", cfg.Duration)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	collectors := make([]*classCollector, len(cfg.Lambdas))
+	for i := range collectors {
+		collectors[i] = &classCollector{slowP95: stats.NewP2(0.95)}
+	}
+
+	var wg sync.WaitGroup
+	src := rng.New(cfg.Seed)
+	start := time.Now()
+	for class, lambda := range cfg.Lambdas {
+		if lambda <= 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(class int, lambda float64, arrivals, sizes *rng.Source) {
+			defer wg.Done()
+			col := collectors[class]
+			var reqWG sync.WaitGroup
+			for {
+				// Exponential inter-arrival in wall-clock terms.
+				gap := time.Duration(arrivals.ExpFloat64(lambda) * float64(cfg.TimeUnit))
+				select {
+				case <-ctx.Done():
+					reqWG.Wait()
+					return
+				case <-time.After(gap):
+				}
+				size := cfg.Service.Sample(sizes)
+				reqWG.Add(1)
+				go func() {
+					defer reqWG.Done()
+					fire(ctx, client, cfg.BaseURL, class, size, col)
+				}()
+			}
+		}(class, lambda, src.Split(uint64(2*class+1)), src.Split(uint64(2*class+2)))
+	}
+	wg.Wait()
+
+	rep := &Report{Classes: make([]ClassReport, len(cfg.Lambdas)), Elapsed: time.Since(start)}
+	for i, col := range collectors {
+		col.mu.Lock()
+		rep.Classes[i] = ClassReport{
+			Sent:          col.sent,
+			Completed:     col.completed,
+			Errors:        col.errors,
+			MeanSlowdown:  col.slow.Mean(),
+			P95Slowdown:   col.slowP95.Value(),
+			MeanLatencyMs: col.latency.Mean(),
+			MeanServiceMs: col.service.Mean(),
+		}
+		col.mu.Unlock()
+	}
+	return rep, nil
+}
+
+func fire(ctx context.Context, client *http.Client, base string, class int, size float64, col *classCollector) {
+	col.mu.Lock()
+	col.sent++
+	col.mu.Unlock()
+
+	u := fmt.Sprintf("%s?class=%d&size=%s", base, class, strconv.FormatFloat(size, 'g', -1, 64))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		col.fail()
+		return
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		col.fail()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		col.fail()
+		return
+	}
+	var sr serverResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		col.fail()
+		return
+	}
+	lat := time.Since(t0)
+	col.mu.Lock()
+	col.completed++
+	col.slow.Add(sr.Slowdown)
+	col.slowP95.Add(sr.Slowdown)
+	col.latency.Add(float64(lat) / float64(time.Millisecond))
+	col.service.Add(sr.ServiceMs)
+	col.mu.Unlock()
+}
+
+func (c *classCollector) fail() {
+	c.mu.Lock()
+	c.errors++
+	c.mu.Unlock()
+}
+
+// SlowdownRatio returns the achieved mean slowdown ratio of class i to
+// class 0, or NaN when unavailable.
+func (r *Report) SlowdownRatio(i int) float64 {
+	if i <= 0 || i >= len(r.Classes) {
+		return 0
+	}
+	base := r.Classes[0].MeanSlowdown
+	if !(base > 0) {
+		return 0
+	}
+	return r.Classes[i].MeanSlowdown / base
+}

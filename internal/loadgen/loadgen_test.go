@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"psd/internal/dist"
+	"psd/internal/httpsrv"
+)
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{}); err == nil {
+		t.Error("accepted empty BaseURL")
+	}
+	if _, err := Run(ctx, Config{BaseURL: "http://x"}); err == nil {
+		t.Error("accepted empty lambdas")
+	}
+	if _, err := Run(ctx, Config{BaseURL: "http://x", Lambdas: []float64{1}}); err == nil {
+		t.Error("accepted zero duration")
+	}
+}
+
+func TestRunAgainstPSDServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short")
+	}
+	srv, err := httpsrv.New(httpsrv.Config{
+		Deltas:   []float64{1, 2},
+		TimeUnit: time.Millisecond,
+		Window:   50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Mux())
+	defer func() { ts.Close(); srv.Close() }()
+
+	small, _ := dist.NewUniform(0.5, 1.5)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL + "/",
+		Lambdas:  []float64{0.2, 0.2}, // per time unit (1ms) → 200 rps/class
+		TimeUnit: time.Millisecond,
+		Service:  small,
+		Duration: 1500 * time.Millisecond,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range rep.Classes {
+		if c.Sent == 0 {
+			t.Fatalf("class %d sent nothing", i)
+		}
+		if c.Completed == 0 {
+			t.Fatalf("class %d completed nothing (errors=%d)", i, c.Errors)
+		}
+		if c.MeanLatencyMs <= 0 {
+			t.Fatalf("class %d latency %v", i, c.MeanLatencyMs)
+		}
+	}
+	if rep.Elapsed < time.Second {
+		t.Fatalf("elapsed %v too short", rep.Elapsed)
+	}
+	// Ratio helper sanity (no strict value assertion: short run).
+	if r := rep.SlowdownRatio(1); r < 0 {
+		t.Fatalf("ratio %v negative", r)
+	}
+	if rep.SlowdownRatio(0) != 0 || rep.SlowdownRatio(5) != 0 {
+		t.Fatal("out-of-range ratio should be 0")
+	}
+}
+
+func TestRunRespectsContextCancel(t *testing.T) {
+	srv, err := httpsrv.New(httpsrv.Config{Deltas: []float64{1}, TimeUnit: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Mux())
+	defer func() { ts.Close(); srv.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = Run(ctx, Config{
+		BaseURL:  ts.URL + "/",
+		Lambdas:  []float64{0.05},
+		TimeUnit: time.Millisecond,
+		Duration: 10 * time.Second,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("cancel not honored promptly")
+	}
+}

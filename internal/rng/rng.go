@@ -1,0 +1,179 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators for simulation use.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 so that any 64-bit seed — including 0 — yields a well-mixed
+// state. Independent replications obtain non-overlapping streams either by
+// deriving child sources with Split (hash-based) or by the 2^128-step Jump.
+//
+// The package is intentionally tiny: simulations in this module create one
+// Source per replication and one derived Source per stochastic component
+// (per-class arrival process, per-class size process, …) so that changing
+// one component's draw count never perturbs another component's stream —
+// the "common random numbers" discipline used throughout internal/simsrv.
+package rng
+
+import "math"
+
+// Source is a xoshiro256** PRNG. It is NOT safe for concurrent use; create
+// one Source per goroutine (see Split).
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given 64-bit seed. Distinct seeds
+// yield (with overwhelming probability) uncorrelated streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&sm)
+	}
+	// xoshiro256** requires a non-zero state; splitmix64 guarantees this
+	// except with negligible probability, but be defensive anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Split derives an independent child Source from the parent and a stream
+// identifier. The parent's state is not advanced, so components created
+// from the same parent with distinct ids have reproducible, decoupled
+// streams.
+func (r *Source) Split(id uint64) *Source {
+	// Mix the parent state with the id through SplitMix64.
+	sm := r.s[0] ^ (r.s[1] << 1) ^ (r.s[2] << 2) ^ (r.s[3] << 3) ^ (id * 0xd1342543de82ef95)
+	var src Source
+	for i := range src.s {
+		src.s[i] = splitmix64(&sm)
+	}
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls of
+// Uint64. It can be used to generate 2^128 non-overlapping subsequences.
+func (r *Source) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1) with 53 bits of
+// precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Float64Open returns a uniformly distributed float64 in the open interval
+// (0, 1), suitable for inverse-CDF transforms that must avoid log(0) or
+// division by zero.
+func (r *Source) Float64Open() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with the given
+// rate (mean 1/rate), via inverse transform.
+func (r *Source) ExpFloat64(rate float64) float64 {
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// NormFloat64 returns a standard normal variate using the Marsaglia polar
+// method.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo * bLo
+	lo32 := t & mask32
+	carry := t >> 32
+	t = aHi*bLo + carry
+	mid := t & mask32
+	hiPart := t >> 32
+	t = aLo*bHi + mid
+	hi = aHi*bHi + hiPart + t>>32
+	lo = t<<32 | lo32
+	return hi, lo
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,271 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero seed produced repeated values: %d unique of 100", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	c1again := parent.Split(1)
+	for i := 0; i < 100; i++ {
+		v1 := c1.Uint64()
+		if v1 != c1again.Uint64() {
+			t.Fatalf("Split(1) not reproducible at draw %d", i)
+		}
+		if v1 == c2.Uint64() {
+			t.Fatalf("Split(1) and Split(2) collided at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split(5)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent state")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64Open()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	const rate = 2.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	want := 1 / rate
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("exp mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(8)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(10)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(11)
+	const n = 10
+	const draws = 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Fatalf("bucket %d count %d deviates from %v by more than 5%%", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestJumpProducesDisjointStream(t *testing.T) {
+	a := New(13)
+	b := New(13)
+	b.Jump()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("jumped stream collided with original %d times", same)
+	}
+}
+
+func TestShufflePermutes(t *testing.T) {
+	r := New(14)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := map[int]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestMul64MatchesBigMultiplication(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify via four 32x32 partial products recomputed differently:
+		// (a*b) mod 2^64 must equal Go's native wrap-around product.
+		if lo != a*b {
+			return false
+		}
+		// Spot-check hi via float approximation for magnitude sanity.
+		approx := float64(a) * float64(b) / math.Pow(2, 64)
+		diff := math.Abs(float64(hi) - approx)
+		return diff <= approx*1e-9+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Quantiles(t *testing.T) {
+	// Chi-square-ish uniformity over 20 buckets.
+	r := New(15)
+	const buckets = 20
+	const draws = 200000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[int(r.Float64()*buckets)]++
+	}
+	want := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - want
+		chi2 += d * d / want
+	}
+	// 19 dof; 99.9th percentile is ~43.8. Allow generous headroom.
+	if chi2 > 60 {
+		t.Fatalf("uniformity chi2 = %v, too large", chi2)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkExpFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.ExpFloat64(1.5)
+	}
+	_ = sink
+}

@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"psd/internal/rng"
+)
+
+// SmoothWRR is the smooth weighted round-robin discipline (as popularized
+// by nginx): every selection adds each backlogged class's weight to its
+// current score, picks the highest score, and subtracts the total active
+// weight from the winner. Selection frequencies converge to the weights
+// with the smallest possible burstiness, and weights may be arbitrary
+// positive reals. Unlike SCFQ/DRR it is size-oblivious: it equalizes
+// request *counts*, not work, so with heavy-tailed sizes its achieved
+// service shares drift from the weights — an effect the substrate tests
+// quantify.
+type SmoothWRR struct {
+	classes int
+	weights []float64
+	current []float64
+	queues  []fifo
+	backlog int
+}
+
+// NewSmoothWRR builds the scheduler with equal initial weights.
+func NewSmoothWRR(classes int) *SmoothWRR {
+	s := &SmoothWRR{
+		classes: classes,
+		weights: make([]float64, classes),
+		current: make([]float64, classes),
+		queues:  make([]fifo, classes),
+	}
+	for i := range s.weights {
+		s.weights[i] = 1 / float64(classes)
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *SmoothWRR) Name() string { return "wrr" }
+
+// SetWeights implements Scheduler.
+func (s *SmoothWRR) SetWeights(w []float64) error {
+	if err := checkWeights(w, s.classes); err != nil {
+		return err
+	}
+	copy(s.weights, w)
+	return nil
+}
+
+// Enqueue implements Scheduler.
+func (s *SmoothWRR) Enqueue(j *Job) {
+	s.queues[j.Class].push(j)
+	s.backlog++
+}
+
+// Dequeue implements Scheduler.
+func (s *SmoothWRR) Dequeue() *Job {
+	if s.backlog == 0 {
+		for i := range s.current {
+			s.current[i] = 0
+		}
+		return nil
+	}
+	best := -1
+	totalActive := 0.0
+	for i := range s.queues {
+		if s.queues[i].empty() {
+			continue
+		}
+		s.current[i] += s.weights[i]
+		totalActive += s.weights[i]
+		if best == -1 || s.current[i] > s.current[best] {
+			best = i
+		}
+	}
+	s.current[best] -= totalActive
+	s.backlog--
+	return s.queues[best].pop()
+}
+
+// Backlog implements Scheduler.
+func (s *SmoothWRR) Backlog() int { return s.backlog }
+
+// Lottery is Waldspurger & Weihl's randomized proportional-share
+// discipline: each backlogged class holds tickets proportional to its
+// weight; a uniform draw selects the winner. Expected shares equal the
+// weights; variance decays as 1/n.
+type Lottery struct {
+	classes int
+	weights []float64
+	queues  []fifo
+	src     *rng.Source
+	backlog int
+}
+
+// NewLottery builds the scheduler with its own deterministic random
+// stream.
+func NewLottery(classes int, src *rng.Source) *Lottery {
+	l := &Lottery{
+		classes: classes,
+		weights: make([]float64, classes),
+		queues:  make([]fifo, classes),
+		src:     src,
+	}
+	for i := range l.weights {
+		l.weights[i] = 1 / float64(classes)
+	}
+	return l
+}
+
+// Name implements Scheduler.
+func (l *Lottery) Name() string { return "lottery" }
+
+// SetWeights implements Scheduler.
+func (l *Lottery) SetWeights(w []float64) error {
+	if err := checkWeights(w, l.classes); err != nil {
+		return err
+	}
+	copy(l.weights, w)
+	return nil
+}
+
+// Enqueue implements Scheduler.
+func (l *Lottery) Enqueue(j *Job) {
+	l.queues[j.Class].push(j)
+	l.backlog++
+}
+
+// Dequeue implements Scheduler.
+func (l *Lottery) Dequeue() *Job {
+	if l.backlog == 0 {
+		return nil
+	}
+	total := 0.0
+	for i := range l.queues {
+		if !l.queues[i].empty() {
+			total += l.weights[i]
+		}
+	}
+	draw := l.src.Float64() * total
+	for i := range l.queues {
+		if l.queues[i].empty() {
+			continue
+		}
+		draw -= l.weights[i]
+		if draw < 0 {
+			l.backlog--
+			return l.queues[i].pop()
+		}
+	}
+	// Floating-point edge: serve the last backlogged class.
+	for i := l.classes - 1; i >= 0; i-- {
+		if !l.queues[i].empty() {
+			l.backlog--
+			return l.queues[i].pop()
+		}
+	}
+	return nil
+}
+
+// Backlog implements Scheduler.
+func (l *Lottery) Backlog() int { return l.backlog }
+
+// StrictPriority always serves the lowest-numbered backlogged class —
+// the related-work baseline ([Almeida et al.], paper §5) that achieves
+// differentiation but cannot hold proportional spacings and starves low
+// classes under high-priority load.
+type StrictPriority struct {
+	classes int
+	queues  []fifo
+	backlog int
+}
+
+// NewStrictPriority builds the scheduler; class 0 is highest priority.
+func NewStrictPriority(classes int) *StrictPriority {
+	return &StrictPriority{classes: classes, queues: make([]fifo, classes)}
+}
+
+// Name implements Scheduler.
+func (s *StrictPriority) Name() string { return "priority" }
+
+// SetWeights implements Scheduler; weights are ignored (priority is
+// positional) but validated for interface conformance.
+func (s *StrictPriority) SetWeights(w []float64) error {
+	return checkWeights(w, s.classes)
+}
+
+// Enqueue implements Scheduler.
+func (s *StrictPriority) Enqueue(j *Job) {
+	s.queues[j.Class].push(j)
+	s.backlog++
+}
+
+// Dequeue implements Scheduler.
+func (s *StrictPriority) Dequeue() *Job {
+	for i := range s.queues {
+		if !s.queues[i].empty() {
+			s.backlog--
+			return s.queues[i].pop()
+		}
+	}
+	return nil
+}
+
+// Backlog implements Scheduler.
+func (s *StrictPriority) Backlog() int { return s.backlog }
+
+// GlobalFCFS serves all classes through one arrival-ordered queue — the
+// no-differentiation control.
+type GlobalFCFS struct {
+	classes int
+	queue   fifo
+}
+
+// NewGlobalFCFS builds the scheduler.
+func NewGlobalFCFS(classes int) *GlobalFCFS { return &GlobalFCFS{classes: classes} }
+
+// Name implements Scheduler.
+func (g *GlobalFCFS) Name() string { return "fcfs" }
+
+// SetWeights implements Scheduler (weights are irrelevant).
+func (g *GlobalFCFS) SetWeights(w []float64) error { return checkWeights(w, g.classes) }
+
+// Enqueue implements Scheduler.
+func (g *GlobalFCFS) Enqueue(j *Job) { g.queue.push(j) }
+
+// Dequeue implements Scheduler.
+func (g *GlobalFCFS) Dequeue() *Job {
+	if g.queue.empty() {
+		return nil
+	}
+	return g.queue.pop()
+}
+
+// Backlog implements Scheduler.
+func (g *GlobalFCFS) Backlog() int { return g.queue.len() }
+
+var (
+	_ Scheduler = (*SCFQ)(nil)
+	_ Scheduler = (*DRR)(nil)
+	_ Scheduler = (*SmoothWRR)(nil)
+	_ Scheduler = (*Lottery)(nil)
+	_ Scheduler = (*StrictPriority)(nil)
+	_ Scheduler = (*GlobalFCFS)(nil)
+)

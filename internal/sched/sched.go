@@ -1,0 +1,302 @@
+// Package sched implements the proportional-share scheduling substrate
+// that the paper assumes is available on the server ("we assume that the
+// processing rate of an Internet server can be proportionally allocated to
+// a number of task servers", §2.2, citing GPS, PGPS and Lottery
+// scheduling). The PSD rate allocator outputs a weight vector; these
+// schedulers realize it on a single serially-shared processor by choosing
+// which class's head-of-line request runs next.
+//
+// Provided disciplines:
+//
+//   - SCFQ — self-clocked fair queueing, a practical packet-by-packet
+//     approximation of GPS (PGPS family)
+//   - DRR — deficit round robin
+//   - SmoothWRR — smooth weighted round robin (integer-free)
+//   - Lottery — randomized proportional share
+//   - StrictPriority — the related-work baseline that provably cannot
+//     hold quality spacings (§5)
+//   - GlobalFCFS — no differentiation at all
+//
+// A fluid GPS reference (GPSFinishTimes) computes exact fluid completion
+// times for conformance tests: packetized schedules must track the fluid
+// schedule within a bounded lag.
+//
+// All schedulers are single-goroutine data structures; the HTTP front end
+// serializes access through its dispatcher.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Job is one schedulable request.
+type Job struct {
+	// Class indexes the weight vector.
+	Class int
+	// Size is the job's service demand in work units.
+	Size float64
+	// Arrival is the caller's arrival timestamp (informational; only GPS
+	// conformance tooling interprets it).
+	Arrival float64
+	// Payload carries the caller's context through the scheduler.
+	Payload any
+
+	// scheduling tags (scheduler-private)
+	tag float64
+	seq uint64
+}
+
+// Scheduler selects the next job to run to completion on the shared
+// processor.
+type Scheduler interface {
+	// Name identifies the discipline.
+	Name() string
+	// SetWeights installs the normalized per-class weights (from the rate
+	// allocator). Implementations must accept any positive vector.
+	SetWeights(w []float64) error
+	// Enqueue adds a job.
+	Enqueue(j *Job)
+	// Dequeue removes and returns the next job to serve, or nil if idle.
+	Dequeue() *Job
+	// Backlog returns the number of queued jobs.
+	Backlog() int
+}
+
+// ErrBadWeights reports an invalid weight vector.
+var ErrBadWeights = errors.New("sched: weights must be positive")
+
+func checkWeights(w []float64, classes int) error {
+	if len(w) != classes {
+		return fmt.Errorf("%w: got %d weights for %d classes", ErrBadWeights, len(w), classes)
+	}
+	for i, x := range w {
+		if !(x > 0) {
+			return fmt.Errorf("%w: weight[%d] = %v", ErrBadWeights, i, x)
+		}
+	}
+	return nil
+}
+
+// fifo is a simple per-class queue.
+type fifo struct{ jobs []*Job }
+
+func (q *fifo) push(j *Job) { q.jobs = append(q.jobs, j) }
+func (q *fifo) pop() *Job {
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j
+}
+func (q *fifo) head() *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return q.jobs[0]
+}
+func (q *fifo) empty() bool { return len(q.jobs) == 0 }
+func (q *fifo) len() int    { return len(q.jobs) }
+
+// ---------------------------------------------------------------------------
+// SCFQ
+
+// SCFQ is self-clocked fair queueing (Golestani): each arriving job gets a
+// finish tag F = max(V, F_prev(class)) + size/w(class), where the virtual
+// time V is the finish tag of the job most recently dispatched. Jobs are
+// served in increasing tag order, approximating GPS within one maximum job
+// per class.
+type SCFQ struct {
+	classes int
+	weights []float64
+	lastTag []float64 // per-class last finish tag
+	vtime   float64
+	pq      jobHeap
+	seq     uint64
+	backlog int
+}
+
+// NewSCFQ builds an SCFQ scheduler for the given class count with equal
+// initial weights.
+func NewSCFQ(classes int) *SCFQ {
+	s := &SCFQ{
+		classes: classes,
+		weights: make([]float64, classes),
+		lastTag: make([]float64, classes),
+	}
+	for i := range s.weights {
+		s.weights[i] = 1 / float64(classes)
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *SCFQ) Name() string { return "scfq" }
+
+// SetWeights implements Scheduler.
+func (s *SCFQ) SetWeights(w []float64) error {
+	if err := checkWeights(w, s.classes); err != nil {
+		return err
+	}
+	copy(s.weights, w)
+	return nil
+}
+
+// Enqueue implements Scheduler.
+func (s *SCFQ) Enqueue(j *Job) {
+	start := s.vtime
+	if s.lastTag[j.Class] > start {
+		start = s.lastTag[j.Class]
+	}
+	j.tag = start + j.Size/s.weights[j.Class]
+	s.lastTag[j.Class] = j.tag
+	j.seq = s.seq
+	s.seq++
+	heap.Push(&s.pq, j)
+	s.backlog++
+}
+
+// Dequeue implements Scheduler.
+func (s *SCFQ) Dequeue() *Job {
+	if s.pq.Len() == 0 {
+		// Idle period: reset virtual time bookkeeping so stale tags do
+		// not penalize the next busy period.
+		s.vtime = 0
+		for i := range s.lastTag {
+			s.lastTag[i] = 0
+		}
+		return nil
+	}
+	j := heap.Pop(&s.pq).(*Job)
+	s.vtime = j.tag
+	s.backlog--
+	return j
+}
+
+// Backlog implements Scheduler.
+func (s *SCFQ) Backlog() int { return s.backlog }
+
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].tag != h[j].tag {
+		return h[i].tag < h[j].tag
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// ---------------------------------------------------------------------------
+// DRR
+
+// DRR is deficit round robin (Shreedhar & Varghese): classes are visited
+// cyclically; arriving at a backlogged class adds its grant
+// (Quantum·w_i/max(w)) to the class's deficit counter, and the class
+// releases head-of-line jobs while their size fits the deficit. A job
+// larger than the grant simply accumulates deficit over multiple rounds —
+// no job is ever served out of budget.
+type DRR struct {
+	classes int
+	weights []float64
+	queues  []fifo
+	deficit []float64
+	// Quantum is the base quantum in work units; the per-round grant is
+	// Quantum·w_i/max(w). Larger quanta reduce rotation overhead but
+	// coarsen fairness granularity.
+	Quantum float64
+	cursor  int
+	arrived bool // whether the cursor class has been granted since arrival
+	backlog int
+}
+
+// NewDRR builds a DRR scheduler with the given base quantum (work units).
+func NewDRR(classes int, quantum float64) (*DRR, error) {
+	if !(quantum > 0) {
+		return nil, fmt.Errorf("sched: DRR quantum %v must be positive", quantum)
+	}
+	d := &DRR{
+		classes: classes,
+		weights: make([]float64, classes),
+		queues:  make([]fifo, classes),
+		deficit: make([]float64, classes),
+		Quantum: quantum,
+	}
+	for i := range d.weights {
+		d.weights[i] = 1 / float64(classes)
+	}
+	return d, nil
+}
+
+// Name implements Scheduler.
+func (d *DRR) Name() string { return "drr" }
+
+// SetWeights implements Scheduler.
+func (d *DRR) SetWeights(w []float64) error {
+	if err := checkWeights(w, d.classes); err != nil {
+		return err
+	}
+	copy(d.weights, w)
+	return nil
+}
+
+// Enqueue implements Scheduler.
+func (d *DRR) Enqueue(j *Job) {
+	d.queues[j.Class].push(j)
+	d.backlog++
+}
+
+// Dequeue implements Scheduler.
+func (d *DRR) Dequeue() *Job {
+	if d.backlog == 0 {
+		for i := range d.deficit {
+			d.deficit[i] = 0
+		}
+		d.arrived = false
+		return nil
+	}
+	maxW := 0.0
+	for _, w := range d.weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	advance := func() {
+		d.cursor = (d.cursor + 1) % d.classes
+		d.arrived = false
+	}
+	// Terminates: every full rotation adds a positive grant to each
+	// backlogged class, so some head eventually fits its deficit.
+	for {
+		q := &d.queues[d.cursor]
+		if q.empty() {
+			// Standard DRR: an emptied class forfeits its deficit.
+			d.deficit[d.cursor] = 0
+			advance()
+			continue
+		}
+		if !d.arrived {
+			d.deficit[d.cursor] += d.Quantum * d.weights[d.cursor] / maxW
+			d.arrived = true
+		}
+		if head := q.head(); head.Size <= d.deficit[d.cursor] {
+			d.deficit[d.cursor] -= head.Size
+			d.backlog--
+			// Cursor stays: the class keeps draining its deficit until
+			// its head no longer fits (then the rotation moves on).
+			return q.pop()
+		}
+		advance()
+	}
+}
+
+// Backlog implements Scheduler.
+func (d *DRR) Backlog() int { return d.backlog }

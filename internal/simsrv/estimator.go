@@ -1,0 +1,89 @@
+package simsrv
+
+// estimator is the paper's load estimator (§4.1): per-class arrival counts
+// and work are accumulated per window; the estimate used for the next
+// window is the average over the past `history` windows ("the load for
+// next thousand time units was the average load in past five thousand time
+// units").
+type estimator struct {
+	history int
+	// ring buffers, one slot per retained window
+	counts [][]float64 // [class][slot]
+	work   [][]float64
+	// current (open) window accumulators
+	curCount []float64
+	curWork  []float64
+	next     int // ring write index
+	filled   int // number of valid slots
+}
+
+func newEstimator(classes, history int) *estimator {
+	e := &estimator{
+		history:  history,
+		counts:   make([][]float64, classes),
+		work:     make([][]float64, classes),
+		curCount: make([]float64, classes),
+		curWork:  make([]float64, classes),
+	}
+	for i := range e.counts {
+		e.counts[i] = make([]float64, history)
+		e.work[i] = make([]float64, history)
+	}
+	return e
+}
+
+// observe records one arrival of the given size for a class.
+func (e *estimator) observe(class int, size float64) {
+	e.curCount[class]++
+	e.curWork[class] += size
+}
+
+// roll closes the current window into the ring.
+func (e *estimator) roll() {
+	for i := range e.counts {
+		e.counts[i][e.next] = e.curCount[i]
+		e.work[i][e.next] = e.curWork[i]
+		e.curCount[i] = 0
+		e.curWork[i] = 0
+	}
+	e.next = (e.next + 1) % e.history
+	if e.filled < e.history {
+		e.filled++
+	}
+}
+
+// lambdas returns the estimated per-class arrival rates over the retained
+// history, given the window width. Zero before any window has closed.
+func (e *estimator) lambdas(window float64) []float64 {
+	out := make([]float64, len(e.counts))
+	if e.filled == 0 {
+		return out
+	}
+	span := window * float64(e.filled)
+	for i := range e.counts {
+		sum := 0.0
+		for s := 0; s < e.filled; s++ {
+			sum += e.counts[i][s]
+		}
+		out[i] = sum / span
+	}
+	return out
+}
+
+// loads returns the estimated per-class offered load (work per time unit)
+// over the retained history.
+func (e *estimator) loads(window float64) []float64 {
+	out := make([]float64, len(e.work))
+	if e.filled == 0 {
+		return out
+	}
+	span := window * float64(e.filled)
+	for i := range e.work {
+		sum := 0.0
+		for s := 0; s < e.filled; s++ {
+			sum += e.work[i][s]
+		}
+		out[i] = sum / span
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package simsrv
+
+import (
+	"fmt"
+	"math"
+
+	"psd/internal/core"
+	"psd/internal/des"
+	"psd/internal/rng"
+	"psd/internal/sched"
+	"psd/internal/stats"
+)
+
+// PacketizedConfig parametrizes a packetized-server simulation: one
+// processor runs whole requests at full speed and a weighted-fair
+// scheduler (internal/sched) picks the next request, with weights
+// refreshed by the allocator every window. This mode validates that the
+// paper's assumed proportional-share facility is realizable by practical
+// packet-by-packet schedulers — and quantifies the slowdown-model
+// correction (core.PacketizedPSD) that the run-to-completion service
+// model requires.
+type PacketizedConfig struct {
+	// Config supplies classes, service law, windows, warmup, horizon and
+	// seed. Its Allocator provides the weights; use core.PacketizedPSD
+	// for proportional slowdowns on this server model (core.PSD's fluid
+	// weights overshoot by design — see the ablation bench).
+	Config
+	// NewScheduler builds the discipline; it receives the class count
+	// and a dedicated random stream (only Lottery uses it). Defaults to
+	// SCFQ.
+	NewScheduler func(classes int, src *rng.Source) sched.Scheduler
+}
+
+// RunPacketized executes one packetized-server replication.
+func RunPacketized(pc PacketizedConfig) (*Result, error) {
+	cfg := pc.Config.ApplyDefaults()
+	if cfg.Allocator == nil || pc.Config.Allocator == nil {
+		// The fluid default would systematically overshoot here; make
+		// the packetized-correct allocator the default for this mode.
+		cfg.Allocator = core.PacketizedPSD{}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WorkConserving {
+		return nil, fmt.Errorf("simsrv: packetized mode is inherently work-conserving; WorkConserving flag is not applicable")
+	}
+	w, err := coreWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mk := pc.NewScheduler
+	if mk == nil {
+		mk = func(classes int, _ *rng.Source) sched.Scheduler { return sched.NewSCFQ(classes) }
+	}
+
+	src := rng.New(cfg.Seed)
+	scheduler := mk(len(cfg.Classes), src.Split(1000))
+
+	type classMetrics struct {
+		slow    stats.Welford
+		delay   stats.Welford
+		svc     stats.Welford
+		windows *stats.WindowSeries
+	}
+	sim := des.New()
+	total := cfg.Warmup + cfg.Horizon
+	est := newEstimator(len(cfg.Classes), cfg.HistoryWindows)
+	metrics := make([]*classMetrics, len(cfg.Classes))
+	arrivalRng := make([]*rng.Source, len(cfg.Classes))
+	sizeRng := make([]*rng.Source, len(cfg.Classes))
+	services := make([]distSampler, len(cfg.Classes))
+	for i, cc := range cfg.Classes {
+		ws, err := stats.NewWindowSeries(cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		metrics[i] = &classMetrics{windows: ws}
+		arrivalRng[i] = src.Split(uint64(2*i + 1))
+		sizeRng[i] = src.Split(uint64(2*i + 2))
+		svc := cc.Service
+		if svc == nil {
+			svc = cfg.Service
+		}
+		services[i] = svc
+	}
+
+	// Initial weights from declared rates (fall back to even split).
+	weights := make([]float64, len(cfg.Classes))
+	trueClasses := make([]core.Class, len(cfg.Classes))
+	for i, cc := range cfg.Classes {
+		trueClasses[i] = core.Class{Delta: cc.Delta, Lambda: cc.Lambda}
+	}
+	if alloc, err := cfg.Allocator.Allocate(trueClasses, w); err == nil {
+		copy(weights, alloc.Rates)
+	} else {
+		for i := range weights {
+			weights[i] = 1 / float64(len(weights))
+		}
+	}
+	if err := scheduler.SetWeights(positiveFloor(weights, cfg.MinRate)); err != nil {
+		return nil, err
+	}
+
+	var (
+		busy        bool
+		reallocOK   int
+		reallocFail int
+		records     []RequestRecord
+	)
+
+	type pkJob struct {
+		arrival float64
+	}
+	var dispatch func()
+	dispatch = func() {
+		j := scheduler.Dequeue()
+		if j == nil {
+			busy = false
+			return
+		}
+		busy = true
+		start := sim.Now()
+		arrival := j.Payload.(pkJob).arrival
+		class := j.Class
+		size := j.Size
+		sim.Schedule(size, func() { // full-speed service
+			now := sim.Now()
+			if now >= cfg.Warmup {
+				delay := start - arrival
+				slowdown := delay / size
+				m := metrics[class]
+				m.slow.Add(slowdown)
+				m.delay.Add(delay)
+				m.svc.Add(size)
+				m.windows.Observe(now-cfg.Warmup, slowdown)
+				if cfg.RecordRequests && now >= cfg.RecordFrom && now < cfg.RecordTo {
+					records = append(records, RequestRecord{
+						Class: class, Arrival: arrival, ServiceStart: start,
+						Completion: now, Size: size, Slowdown: slowdown,
+					})
+				}
+			}
+			dispatch()
+		})
+	}
+
+	var scheduleArrival func(i int)
+	scheduleArrival = func(i int) {
+		cc := cfg.Classes[i]
+		if cc.Lambda <= 0 {
+			return
+		}
+		sim.Schedule(arrivalRng[i].ExpFloat64(cc.Lambda), func() {
+			size := services[i].Sample(sizeRng[i])
+			est.observe(i, size)
+			scheduler.Enqueue(&sched.Job{
+				Class: i, Size: size, Arrival: sim.Now(),
+				Payload: pkJob{arrival: sim.Now()},
+			})
+			if !busy {
+				dispatch()
+			}
+			scheduleArrival(i)
+		})
+	}
+	for i := range cfg.Classes {
+		scheduleArrival(i)
+	}
+
+	var scheduleRealloc func()
+	scheduleRealloc = func() {
+		sim.Schedule(cfg.Window, func() {
+			est.roll()
+			lambdas := est.lambdas(cfg.Window)
+			classes := make([]core.Class, len(cfg.Classes))
+			for i, cc := range cfg.Classes {
+				l := lambdas[i]
+				if cfg.Oracle {
+					l = cc.Lambda
+				}
+				classes[i] = core.Class{Delta: cc.Delta, Lambda: l}
+			}
+			if alloc, err := cfg.Allocator.Allocate(classes, w); err == nil {
+				if err := scheduler.SetWeights(positiveFloor(alloc.Rates, cfg.MinRate)); err == nil {
+					reallocOK++
+				} else {
+					reallocFail++
+				}
+			} else {
+				reallocFail++
+			}
+			if sim.Now() < total {
+				scheduleRealloc()
+			}
+		})
+	}
+	scheduleRealloc()
+
+	sim.RunUntil(total)
+
+	// Assemble the Result in the same shape as the fluid mode.
+	res := &Result{
+		Classes:           make([]ClassStats, len(cfg.Classes)),
+		ExpectedSlowdowns: make([]float64, len(cfg.Classes)),
+		FinalRates:        weights,
+		Reallocations:     reallocOK,
+		AllocFailures:     reallocFail,
+		EventsProcessed:   sim.Processed(),
+		Records:           records,
+	}
+	numWindows := int(math.Ceil(cfg.Horizon / cfg.Window))
+	var sysSlow, sysCount float64
+	for i, m := range metrics {
+		st := &res.Classes[i]
+		st.Count = m.slow.N()
+		st.MeanSlowdown = m.slow.Mean()
+		st.StdSlowdown = m.slow.Std()
+		st.MaxSlowdown = m.slow.Max()
+		st.MeanDelay = m.delay.Mean()
+		st.MeanService = m.svc.Mean()
+		st.WindowMeans = make([]float64, numWindows)
+		for wi := 0; wi < numWindows; wi++ {
+			if mean, ok := m.windows.WindowMean(wi); ok {
+				st.WindowMeans[wi] = mean
+			} else {
+				st.WindowMeans[wi] = math.NaN()
+			}
+		}
+		if st.Count > 0 {
+			sysSlow += st.MeanSlowdown * float64(st.Count)
+			sysCount += float64(st.Count)
+		}
+	}
+	if sysCount > 0 {
+		res.SystemSlowdown = sysSlow / sysCount
+	}
+	if alloc, err := cfg.Allocator.Allocate(trueClasses, w); err == nil {
+		copy(res.ExpectedSlowdowns, alloc.ExpectedSlowdowns)
+		copy(res.FinalRates, alloc.Rates)
+	} else {
+		for i := range res.ExpectedSlowdowns {
+			res.ExpectedSlowdowns[i] = math.NaN()
+		}
+	}
+	return res, nil
+}
+
+// distSampler is the sampling subset of dist.Distribution used above.
+type distSampler interface {
+	Sample(*rng.Source) float64
+}
+
+// positiveFloor clamps weights at a positive minimum (schedulers reject
+// non-positive weights; an idle class's zero rate becomes a negligible
+// share).
+func positiveFloor(ws []float64, floor float64) []float64 {
+	if floor <= 0 {
+		floor = 1e-6
+	}
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		if w < floor {
+			w = floor
+		}
+		out[i] = w
+	}
+	return out
+}

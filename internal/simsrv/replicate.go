@@ -1,0 +1,146 @@
+package simsrv
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"psd/internal/stats"
+)
+
+// Aggregate summarizes many independent replications of one Config, the
+// paper's "each reported result is an average of 100 runs".
+type Aggregate struct {
+	Runs int
+	// MeanSlowdowns[i] is the across-run mean of class i's per-run mean
+	// slowdown; CI95 the 95% normal-approximation half-width.
+	MeanSlowdowns []float64
+	CI95          []float64
+	// ExpectedSlowdowns are the model (Eq. 18) predictions.
+	ExpectedSlowdowns []float64
+	// SystemSlowdown is the across-run mean of the arrival-weighted
+	// system slowdown.
+	SystemSlowdown float64
+	// RatioSummaries[i] summarizes the pooled per-window achieved
+	// slowdown ratios of class i to class 0 across all runs (entry 0 is
+	// the degenerate self-ratio and is left zero).
+	RatioSummaries []stats.Summary
+	// MeanRatios[i] is the across-run mean of (class i mean slowdown /
+	// class 0 mean slowdown), the statistic plotted in Figures 9–10.
+	MeanRatios []float64
+	// AllocFailures totals allocator fallbacks across runs.
+	AllocFailures int
+}
+
+// RunReplications executes n independent replications of cfg (seeds
+// cfg.Seed, cfg.Seed+1, …) in parallel across GOMAXPROCS workers and
+// aggregates. Replication results are deterministic per seed, and the
+// aggregation order is fixed, so the Aggregate is reproducible regardless
+// of scheduling.
+func RunReplications(cfg Config, n int) (*Aggregate, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("simsrv: need at least 1 replication, got %d", n)
+	}
+	cfg = cfg.ApplyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				c := cfg
+				c.Seed = cfg.Seed + uint64(idx)
+				results[idx], errs[idx] = Run(c)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return aggregate(cfg, results)
+}
+
+func aggregate(cfg Config, results []*Result) (*Aggregate, error) {
+	nc := len(cfg.Classes)
+	agg := &Aggregate{
+		Runs:              len(results),
+		MeanSlowdowns:     make([]float64, nc),
+		CI95:              make([]float64, nc),
+		ExpectedSlowdowns: make([]float64, nc),
+		RatioSummaries:    make([]stats.Summary, nc),
+		MeanRatios:        make([]float64, nc),
+	}
+	perClass := make([]stats.Welford, nc)
+	ratioMeans := make([]stats.Welford, nc)
+	pooledRatios := make([][]float64, nc)
+	var system stats.Welford
+	for _, res := range results {
+		for i := 0; i < nc; i++ {
+			if res.Classes[i].Count > 0 {
+				perClass[i].Add(res.Classes[i].MeanSlowdown)
+			}
+			if i > 0 {
+				if s0 := res.Classes[0].MeanSlowdown; s0 > 0 && res.Classes[i].Count > 0 {
+					ratioMeans[i].Add(res.Classes[i].MeanSlowdown / s0)
+				}
+				pooledRatios[i] = append(pooledRatios[i], res.WindowRatio(i, 0)...)
+			}
+		}
+		system.Add(res.SystemSlowdown)
+		agg.AllocFailures += res.AllocFailures
+	}
+	for i := 0; i < nc; i++ {
+		agg.MeanSlowdowns[i] = perClass[i].Mean()
+		agg.CI95[i] = perClass[i].ConfidenceInterval(0.95)
+		agg.ExpectedSlowdowns[i] = results[0].ExpectedSlowdowns[i]
+		if i > 0 {
+			agg.MeanRatios[i] = ratioMeans[i].Mean()
+			if len(pooledRatios[i]) > 0 {
+				s, err := stats.Summarize(pooledRatios[i])
+				if err != nil {
+					return nil, err
+				}
+				agg.RatioSummaries[i] = s
+			}
+		}
+	}
+	agg.SystemSlowdown = system.Mean()
+	return agg, nil
+}
+
+// ExpectedSystemSlowdown returns the arrival-weighted Eq. 18 prediction
+// for the aggregate, mirroring SystemSlowdown.
+func ExpectedSystemSlowdown(cfg Config, agg *Aggregate) float64 {
+	cfg = cfg.ApplyDefaults()
+	var num, den float64
+	for i, c := range cfg.Classes {
+		if math.IsNaN(agg.ExpectedSlowdowns[i]) {
+			return math.NaN()
+		}
+		num += agg.ExpectedSlowdowns[i] * c.Lambda
+		den += c.Lambda
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,671 @@
+// Package simsrv implements the paper's simulation model (§4.1, Fig. 1):
+// an Internet server of normalized capacity 1 partitioned among per-class
+// task servers, driven by Poisson request generators with Bounded Pareto
+// (or any dist.Distribution) job sizes, with a windowed load estimator and
+// a pluggable processing-rate allocator.
+//
+// Timing conventions follow the paper: one time unit is the processing
+// time of an average-size request at full capacity when the size law is
+// normalized to mean 1; more generally the server drains 1 work unit per
+// time unit and sizes are in work units. Rates are reallocated every
+// Window time units from the mean load of the past HistoryWindows windows;
+// the simulator warms up for Warmup time units and then measures for
+// Horizon time units; per-class slowdown is also aggregated per Window for
+// the predictability analysis (Figures 5–8).
+package simsrv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"psd/internal/admission"
+	"psd/internal/control"
+	"psd/internal/core"
+	"psd/internal/des"
+	"psd/internal/dist"
+	"psd/internal/rng"
+	"psd/internal/stats"
+)
+
+// ClassConfig declares one request class.
+type ClassConfig struct {
+	// Delta is the differentiation parameter δ (smaller = better).
+	Delta float64
+	// Lambda is the Poisson arrival rate, requests per time unit.
+	Lambda float64
+	// Service optionally overrides the shared size distribution for this
+	// class (nil = use Config.Service). Per-class laws exercise the
+	// PSD-vs-PDD divergence; the paper's own experiments share one law.
+	Service dist.Distribution
+}
+
+// Config parametrizes one simulation run. Zero fields take the paper's
+// defaults via ApplyDefaults.
+type Config struct {
+	Classes []ClassConfig
+	// Service is the shared job-size distribution (default: the paper's
+	// BP(0.1, 100, 1.5)).
+	Service dist.Distribution
+	// Allocator computes the per-window rate split (default core.PSD).
+	Allocator core.Allocator
+	// Window is the estimation/reallocation/measurement period (default
+	// 1000 time units, §4.1).
+	Window float64
+	// HistoryWindows is the number of past windows averaged by the load
+	// estimator (default 5, §4.1).
+	HistoryWindows int
+	// Warmup is the discarded initial period (default 10000, §4.1).
+	Warmup float64
+	// Horizon is the measured duration after warmup (default 60000,
+	// §4.1).
+	Horizon float64
+	// Seed selects the replication's random streams.
+	Seed uint64
+	// WorkConserving redistributes idle classes' capacity among busy
+	// classes GPS-style. The paper's model is strictly partitioned
+	// (false), which is what the closed forms assume; true is an
+	// ablation.
+	WorkConserving bool
+	// Oracle feeds the allocator the true arrival rates instead of the
+	// estimator's measurements, isolating estimation error (§4.4
+	// attributes controllability gaps at large δ ratios to it).
+	Oracle bool
+	// MinRate floors the rate of any class with backlog so no in-flight
+	// request is stranded by a zero allocation (default 1e-4).
+	MinRate float64
+	// Feedback enables the multiplicative-integral controller
+	// (internal/control.RatioController) that trims the δ vector handed
+	// to the allocator from *measured* per-window slowdown ratios — the
+	// paper's future-work extension for short-timescale predictability.
+	Feedback bool
+	// FeedbackGain is the controller gain in (0,1] (default 0.3).
+	FeedbackGain float64
+	// Admission optionally guards the door (related work §5): arrivals
+	// it rejects are dropped and counted per class instead of queued.
+	// Required to keep Eq. 17 feasible under sustained overload (ρ ≥ 1).
+	Admission admission.Controller
+	// EstimateFromWork derives the allocator's per-class arrival rates
+	// from measured *work* (λ̂_i = incurred load / E[X]) instead of
+	// request counts. The paper's estimator measures both (§4.1); counts
+	// are the lower-variance choice for plain M/G_B/1 traffic, but any
+	// size-biased admission policy (e.g. a utilization bound, which
+	// sheds large jobs first) decouples the admitted count rate from the
+	// admitted work rate and makes count-based ρ̂ read phantom overload —
+	// pair admission control with this flag.
+	EstimateFromWork bool
+	// RecordRequests captures every measured request's slowdown record
+	// between RecordFrom and RecordTo (absolute simulation time), for the
+	// short-timescale Figures 7–8.
+	RecordRequests       bool
+	RecordFrom, RecordTo float64
+}
+
+// ApplyDefaults fills unset fields with the paper's §4.1 values and
+// returns the completed config.
+func (c Config) ApplyDefaults() Config {
+	if c.Service == nil {
+		c.Service = dist.PaperDefault()
+	}
+	if c.Allocator == nil {
+		c.Allocator = core.PSD{}
+	}
+	if c.Window == 0 {
+		c.Window = 1000
+	}
+	if c.HistoryWindows == 0 {
+		c.HistoryWindows = 5
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10000
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 60000
+	}
+	if c.MinRate == 0 {
+		c.MinRate = 1e-4
+	}
+	if c.FeedbackGain == 0 {
+		c.FeedbackGain = 0.3
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Classes) == 0 {
+		return errors.New("simsrv: no classes configured")
+	}
+	for i, cl := range c.Classes {
+		if !(cl.Delta > 0) {
+			return fmt.Errorf("simsrv: class %d delta %v must be positive", i, cl.Delta)
+		}
+		if cl.Lambda < 0 || math.IsNaN(cl.Lambda) || math.IsInf(cl.Lambda, 0) {
+			return fmt.Errorf("simsrv: class %d lambda %v invalid", i, cl.Lambda)
+		}
+	}
+	if !(c.Window > 0) || !(c.Horizon > 0) || c.Warmup < 0 {
+		return fmt.Errorf("simsrv: window=%v warmup=%v horizon=%v must be positive (warmup >= 0)",
+			c.Window, c.Warmup, c.Horizon)
+	}
+	if c.HistoryWindows < 1 {
+		return fmt.Errorf("simsrv: history windows %d must be >= 1", c.HistoryWindows)
+	}
+	if c.RecordRequests && !(c.RecordTo > c.RecordFrom) {
+		return fmt.Errorf("simsrv: record range [%v, %v) empty", c.RecordFrom, c.RecordTo)
+	}
+	return nil
+}
+
+// EqualLoadConfig builds the paper's standard scenario: len(deltas)
+// classes with the given δ values, all offering the same load, with total
+// utilization rho under the given (or default) size law.
+func EqualLoadConfig(deltas []float64, rho float64, service dist.Distribution) Config {
+	if service == nil {
+		service = dist.PaperDefault()
+	}
+	classes := make([]ClassConfig, len(deltas))
+	perClass := rho / (float64(len(deltas)) * service.Mean())
+	for i, d := range deltas {
+		classes[i] = ClassConfig{Delta: d, Lambda: perClass}
+	}
+	return Config{Classes: classes, Service: service}
+}
+
+// RequestRecord is one measured request, for short-timescale analysis.
+type RequestRecord struct {
+	Class        int
+	Arrival      float64
+	ServiceStart float64
+	Completion   float64
+	Size         float64
+	Slowdown     float64
+}
+
+// ClassStats aggregates one class's measured requests in one run.
+type ClassStats struct {
+	Count int64
+	// Rejected counts arrivals dropped by the admission controller
+	// (zero without one).
+	Rejected     int64
+	MeanSlowdown float64
+	StdSlowdown  float64
+	MaxSlowdown  float64
+	MeanDelay    float64
+	MeanService  float64
+	// WindowMeans[i] is the mean slowdown of requests completing in
+	// measurement window i (NaN for empty windows).
+	WindowMeans []float64
+}
+
+// Result is the outcome of one replication.
+type Result struct {
+	Classes []ClassStats
+	// SystemSlowdown is the arrival-weighted mean slowdown across
+	// classes (the "achieved system slowdown" of Figure 2).
+	SystemSlowdown float64
+	// ExpectedSlowdowns holds the Eq. 18 model predictions under the
+	// true arrival rates, for sim-vs-model comparison (NaN if the
+	// allocator is not PSD or the prediction is unavailable).
+	ExpectedSlowdowns []float64
+	// FinalRates is the last allocation in effect.
+	FinalRates []float64
+	// Reallocations counts allocator invocations that succeeded.
+	Reallocations int
+	// AllocFailures counts windows where the allocator errored and the
+	// previous rates were retained.
+	AllocFailures int
+	// EventsProcessed is the DES event count (for performance tracking).
+	EventsProcessed uint64
+	// Records holds request-level samples if Config.RecordRequests.
+	Records []RequestRecord
+}
+
+// WindowRatio returns the per-window achieved slowdown ratio of class i to
+// class j, skipping windows where either class has no completions. Used
+// for the percentile analysis of Figures 5 and 6.
+func (r *Result) WindowRatio(i, j int) []float64 {
+	var out []float64
+	wi, wj := r.Classes[i].WindowMeans, r.Classes[j].WindowMeans
+	n := len(wi)
+	if len(wj) < n {
+		n = len(wj)
+	}
+	for k := 0; k < n; k++ {
+		a, b := wi[k], wj[k]
+		if math.IsNaN(a) || math.IsNaN(b) || b == 0 {
+			continue
+		}
+		out = append(out, a/b)
+	}
+	return out
+}
+
+// request is a job flowing through the model.
+type request struct {
+	class        int
+	size         float64
+	arrival      float64
+	serviceStart float64
+}
+
+// classState is one task server plus its queue, generator streams and
+// metrics.
+type classState struct {
+	cfg     ClassConfig
+	service dist.Distribution
+
+	arrivalRng *rng.Source
+	sizeRng    *rng.Source
+
+	queue   []*request
+	current *request
+
+	rate       float64 // nominal allocated rate
+	effRate    float64 // effective rate (= rate unless work-conserving)
+	remaining  float64 // unfinished work of current
+	lastSync   float64 // sim time when remaining was last updated
+	completion *des.Event
+
+	slow    stats.Welford
+	delay   stats.Welford
+	svc     stats.Welford
+	windows *stats.WindowSeries
+	// winSlow accumulates the current reallocation window's slowdowns
+	// (including warmup) as the feedback controller's input; reset at
+	// every reallocation tick.
+	winSlow stats.Welford
+	// rejected counts arrivals dropped by the admission controller.
+	rejected int64
+}
+
+func (cs *classState) busy() bool { return cs.current != nil }
+
+// runner wires the model together for one replication.
+type runner struct {
+	cfg      Config
+	sim      *des.Simulator
+	classes  []*classState
+	workload core.Workload
+	est      *estimator
+	ctrl     *control.RatioController // nil unless cfg.Feedback
+	total    float64                  // warmup + horizon
+
+	reallocOK   int
+	reallocFail int
+	records     []RequestRecord
+}
+
+// coreWorkload extracts the allocator-facing moments from the config.
+func coreWorkload(cfg Config) (core.Workload, error) {
+	return core.WorkloadFromDist(cfg.Service)
+}
+
+// newRunner builds the wired model with initial rates applied; the caller
+// attaches an arrival source (Poisson generators or a trace) and runs.
+func newRunner(cfg Config, w core.Workload) (*runner, error) {
+	r := &runner{
+		cfg:      cfg,
+		sim:      des.New(),
+		workload: w,
+		total:    cfg.Warmup + cfg.Horizon,
+	}
+	src := rng.New(cfg.Seed)
+	r.classes = make([]*classState, len(cfg.Classes))
+	for i, cc := range cfg.Classes {
+		svc := cc.Service
+		if svc == nil {
+			svc = cfg.Service
+		}
+		ws, err := stats.NewWindowSeries(cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		r.classes[i] = &classState{
+			cfg:        cc,
+			service:    svc,
+			arrivalRng: src.Split(uint64(2*i + 1)),
+			sizeRng:    src.Split(uint64(2*i + 2)),
+			windows:    ws,
+		}
+	}
+	r.est = newEstimator(len(cfg.Classes), cfg.HistoryWindows)
+	if cfg.Feedback {
+		deltas := make([]float64, len(cfg.Classes))
+		for i, cc := range cfg.Classes {
+			deltas[i] = cc.Delta
+		}
+		ctrl, err := control.NewRatioController(deltas, cfg.FeedbackGain, 8)
+		if err != nil {
+			return nil, err
+		}
+		r.ctrl = ctrl
+	}
+
+	// Initial rates: the operator provisions from the declared arrival
+	// rates (the estimator has no history yet); thereafter measurements
+	// drive reallocation. Any error (e.g. declared overload or all-zero
+	// lambdas) falls back to an equal split — the warmup discards the
+	// transient either way.
+	if alloc, err := cfg.Allocator.Allocate(r.trueClasses(), r.allocWorkload()); err == nil {
+		r.applyRates(alloc.Rates)
+	} else {
+		even := make([]float64, len(r.classes))
+		for i := range even {
+			even[i] = 1 / float64(len(even))
+		}
+		r.applyRates(even)
+	}
+	return r, nil
+}
+
+// Run executes one replication and returns its Result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.ApplyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := coreWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newRunner(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	// Start the per-class arrival processes.
+	for i := range r.classes {
+		r.scheduleNextArrival(i)
+	}
+	// Reallocation ticks at every window boundary.
+	r.scheduleReallocation()
+
+	r.sim.RunUntil(r.total)
+	return r.collect(), nil
+}
+
+// trueClasses exposes the configured (true) demand to the allocator.
+func (r *runner) trueClasses() []core.Class {
+	out := make([]core.Class, len(r.classes))
+	for i, cs := range r.classes {
+		out[i] = core.Class{Delta: cs.cfg.Delta, Lambda: cs.cfg.Lambda}
+	}
+	return out
+}
+
+// allocWorkload returns the moment set given to the allocator. With
+// per-class service overrides the shared-law assumption of Eq. 17 is
+// already broken; we still hand the allocator the Config.Service moments,
+// which is precisely the mismatch the PDD-vs-PSD ablation studies.
+func (r *runner) allocWorkload() core.Workload { return r.workload }
+
+func (r *runner) scheduleNextArrival(i int) {
+	cs := r.classes[i]
+	if cs.cfg.Lambda <= 0 {
+		return
+	}
+	delay := cs.arrivalRng.ExpFloat64(cs.cfg.Lambda)
+	r.sim.Schedule(delay, func() {
+		now := r.sim.Now()
+		size := cs.service.Sample(cs.sizeRng)
+		if r.cfg.Admission != nil && !r.cfg.Admission.Admit(i, size, now) {
+			cs.rejected++
+			r.scheduleNextArrival(i)
+			return
+		}
+		req := &request{class: i, size: size, arrival: now}
+		r.est.observe(i, size)
+		cs.queue = append(cs.queue, req)
+		if !cs.busy() {
+			r.startService(cs)
+			if r.cfg.WorkConserving {
+				r.recomputeEffectiveRates()
+			}
+		}
+		r.scheduleNextArrival(i)
+	})
+}
+
+// startService moves the head-of-line request into service. Callers must
+// ensure the class is idle and the queue non-empty.
+func (cs *classState) popHead() *request {
+	req := cs.queue[0]
+	// Shift-free pop: reslice; append re-uses capacity. For the queue
+	// lengths seen here (tens) this is simpler and fast enough, and it
+	// avoids a ring buffer's index bookkeeping.
+	cs.queue = cs.queue[1:]
+	return req
+}
+
+func (r *runner) startService(cs *classState) {
+	req := cs.popHead()
+	req.serviceStart = r.sim.Now()
+	cs.current = req
+	cs.remaining = req.size
+	cs.lastSync = r.sim.Now()
+	r.scheduleCompletion(cs)
+}
+
+// syncRemaining folds elapsed service into the remaining-work counter.
+func (r *runner) syncRemaining(cs *classState) {
+	if !cs.busy() {
+		return
+	}
+	elapsed := r.sim.Now() - cs.lastSync
+	if elapsed > 0 && cs.effRate > 0 {
+		cs.remaining -= elapsed * cs.effRate
+		if cs.remaining < 0 {
+			cs.remaining = 0
+		}
+	}
+	cs.lastSync = r.sim.Now()
+}
+
+// scheduleCompletion (re)schedules the in-service request's completion
+// from the current remaining work and effective rate.
+func (r *runner) scheduleCompletion(cs *classState) {
+	if cs.completion != nil {
+		r.sim.Cancel(cs.completion)
+		cs.completion = nil
+	}
+	if !cs.busy() {
+		return
+	}
+	if cs.effRate <= 0 {
+		// Starved: no completion until a rate change revives the class.
+		return
+	}
+	dt := cs.remaining / cs.effRate
+	cs.completion = r.sim.Schedule(dt, func() {
+		cs.completion = nil
+		r.finishService(cs)
+	})
+}
+
+func (r *runner) finishService(cs *classState) {
+	now := r.sim.Now()
+	req := cs.current
+	cs.current = nil
+	cs.remaining = 0
+
+	serviceDuration := now - req.serviceStart
+	delay := req.serviceStart - req.arrival
+	var slowdown float64
+	if serviceDuration > 0 {
+		slowdown = delay / serviceDuration
+	}
+	cs.winSlow.Add(slowdown)
+	if now >= r.cfg.Warmup {
+		cs.slow.Add(slowdown)
+		cs.delay.Add(delay)
+		cs.svc.Add(serviceDuration)
+		cs.windows.Observe(now-r.cfg.Warmup, slowdown)
+		if r.cfg.RecordRequests && now >= r.cfg.RecordFrom && now < r.cfg.RecordTo {
+			r.records = append(r.records, RequestRecord{
+				Class: req.class, Arrival: req.arrival,
+				ServiceStart: req.serviceStart, Completion: now,
+				Size: req.size, Slowdown: slowdown,
+			})
+		}
+	}
+
+	if len(cs.queue) > 0 {
+		r.startService(cs)
+	} else if r.cfg.WorkConserving {
+		r.recomputeEffectiveRates()
+	}
+}
+
+// applyRates installs a new nominal rate vector, flooring backlogged
+// classes at MinRate, and reschedules all in-flight completions.
+func (r *runner) applyRates(rates []float64) {
+	for i, cs := range r.classes {
+		r.syncRemaining(cs)
+		rate := rates[i]
+		if rate < r.cfg.MinRate && (cs.busy() || len(cs.queue) > 0) {
+			rate = r.cfg.MinRate
+		}
+		cs.rate = rate
+	}
+	r.recomputeEffectiveRates()
+}
+
+// recomputeEffectiveRates refreshes every class's effective service rate
+// and reschedules completions. In partitioned mode eff = nominal. In
+// work-conserving mode the whole capacity is redistributed GPS-style among
+// busy classes in proportion to their nominal rates.
+func (r *runner) recomputeEffectiveRates() {
+	if !r.cfg.WorkConserving {
+		for _, cs := range r.classes {
+			r.syncRemaining(cs)
+			if cs.effRate != cs.rate {
+				cs.effRate = cs.rate
+			}
+			r.scheduleCompletion(cs)
+		}
+		return
+	}
+	busyRate := 0.0
+	numBusy := 0
+	for _, cs := range r.classes {
+		if cs.busy() {
+			busyRate += cs.rate
+			numBusy++
+		}
+	}
+	for _, cs := range r.classes {
+		r.syncRemaining(cs)
+		switch {
+		case !cs.busy():
+			cs.effRate = cs.rate
+		case busyRate > 0:
+			cs.effRate = cs.rate / busyRate
+		default:
+			cs.effRate = 1 / float64(numBusy)
+		}
+		r.scheduleCompletion(cs)
+	}
+}
+
+// scheduleReallocation ticks the estimator and allocator every Window.
+func (r *runner) scheduleReallocation() {
+	r.sim.Schedule(r.cfg.Window, func() {
+		r.est.roll()
+		deltas := make([]float64, len(r.classes))
+		for i, cs := range r.classes {
+			deltas[i] = cs.cfg.Delta
+		}
+		if r.ctrl != nil {
+			// Feed the controller this window's measured slowdowns and
+			// let it trim the effective deltas.
+			measured := make([]float64, len(r.classes))
+			for i, cs := range r.classes {
+				if cs.winSlow.N() > 0 {
+					measured[i] = cs.winSlow.Mean()
+				} else {
+					measured[i] = math.NaN()
+				}
+				cs.winSlow = stats.Welford{}
+			}
+			_ = r.ctrl.Update(measured)
+			copy(deltas, r.ctrl.Deltas())
+		}
+		classes := make([]core.Class, len(r.classes))
+		lambdas := r.est.lambdas(r.cfg.Window)
+		if r.cfg.EstimateFromWork {
+			loads := r.est.loads(r.cfg.Window)
+			for i := range lambdas {
+				lambdas[i] = loads[i] / r.workload.MeanSize
+			}
+		}
+		for i, cs := range r.classes {
+			l := lambdas[i]
+			if r.cfg.Oracle {
+				l = cs.cfg.Lambda
+			}
+			classes[i] = core.Class{Delta: deltas[i], Lambda: l}
+		}
+		if alloc, err := r.cfg.Allocator.Allocate(classes, r.allocWorkload()); err == nil {
+			r.applyRates(alloc.Rates)
+			r.reallocOK++
+		} else {
+			// Transient estimate infeasibility (ρ̂ ≥ 1 at very high
+			// loads): retain the previous rates for this window.
+			r.reallocFail++
+		}
+		if r.sim.Now() < r.total {
+			r.scheduleReallocation()
+		}
+	})
+}
+
+// collect assembles the Result.
+func (r *runner) collect() *Result {
+	res := &Result{
+		Classes:           make([]ClassStats, len(r.classes)),
+		ExpectedSlowdowns: make([]float64, len(r.classes)),
+		FinalRates:        make([]float64, len(r.classes)),
+		Reallocations:     r.reallocOK,
+		AllocFailures:     r.reallocFail,
+		EventsProcessed:   r.sim.Processed(),
+		Records:           r.records,
+	}
+	numWindows := int(math.Ceil(r.cfg.Horizon / r.cfg.Window))
+	var sysSlow, sysCount float64
+	for i, cs := range r.classes {
+		st := &res.Classes[i]
+		st.Count = cs.slow.N()
+		st.Rejected = cs.rejected
+		st.MeanSlowdown = cs.slow.Mean()
+		st.StdSlowdown = cs.slow.Std()
+		st.MaxSlowdown = cs.slow.Max()
+		st.MeanDelay = cs.delay.Mean()
+		st.MeanService = cs.svc.Mean()
+		st.WindowMeans = make([]float64, numWindows)
+		for wi := 0; wi < numWindows; wi++ {
+			if m, ok := cs.windows.WindowMean(wi); ok {
+				st.WindowMeans[wi] = m
+			} else {
+				st.WindowMeans[wi] = math.NaN()
+			}
+		}
+		if st.Count > 0 {
+			sysSlow += st.MeanSlowdown * float64(st.Count)
+			sysCount += float64(st.Count)
+		}
+		res.FinalRates[i] = cs.rate
+	}
+	if sysCount > 0 {
+		res.SystemSlowdown = sysSlow / sysCount
+	}
+	// Model predictions under true demand (Eq. 18 when PSD; otherwise
+	// Theorem 1 at the allocator's own rates under true demand).
+	if alloc, err := r.cfg.Allocator.Allocate(r.trueClasses(), r.workload); err == nil {
+		copy(res.ExpectedSlowdowns, alloc.ExpectedSlowdowns)
+	} else {
+		for i := range res.ExpectedSlowdowns {
+			res.ExpectedSlowdowns[i] = math.NaN()
+		}
+	}
+	return res
+}

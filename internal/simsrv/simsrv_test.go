@@ -1,0 +1,466 @@
+package simsrv
+
+import (
+	"math"
+	"testing"
+
+	"psd/internal/core"
+	"psd/internal/dist"
+	"psd/internal/queueing"
+)
+
+// fastConfig shrinks the horizon so unit tests stay quick; accuracy
+// assertions use tolerances sized for it.
+func fastConfig(deltas []float64, rho float64) Config {
+	cfg := EqualLoadConfig(deltas, rho, nil)
+	cfg.Warmup = 2000
+	cfg.Horizon = 20000
+	cfg.Seed = 1
+	return cfg
+}
+
+func relErr(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"no classes", func(c *Config) { c.Classes = nil }},
+		{"bad delta", func(c *Config) { c.Classes[0].Delta = 0 }},
+		{"negative lambda", func(c *Config) { c.Classes[0].Lambda = -1 }},
+		{"nan lambda", func(c *Config) { c.Classes[0].Lambda = math.NaN() }},
+		{"zero history", func(c *Config) { c.HistoryWindows = -1 }},
+		{"empty record range", func(c *Config) { c.RecordRequests = true; c.RecordFrom = 5; c.RecordTo = 5 }},
+	}
+	for _, tc := range cases {
+		cfg := fastConfig([]float64{1, 2}, 0.5).ApplyDefaults()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}
+
+func TestApplyDefaults(t *testing.T) {
+	cfg := (Config{Classes: []ClassConfig{{Delta: 1, Lambda: 0.1}}}).ApplyDefaults()
+	if cfg.Window != 1000 || cfg.HistoryWindows != 5 || cfg.Warmup != 10000 || cfg.Horizon != 60000 {
+		t.Fatalf("paper defaults not applied: %+v", cfg)
+	}
+	if cfg.Service == nil || cfg.Allocator == nil {
+		t.Fatal("service/allocator defaults missing")
+	}
+	if cfg.Allocator.Name() != "psd" {
+		t.Fatalf("default allocator = %s", cfg.Allocator.Name())
+	}
+}
+
+func TestEqualLoadConfig(t *testing.T) {
+	svc := dist.PaperDefault()
+	cfg := EqualLoadConfig([]float64{1, 2, 4}, 0.6, svc)
+	total := 0.0
+	for _, c := range cfg.Classes {
+		total += c.Lambda * svc.Mean()
+	}
+	if relErr(total, 0.6) > 1e-12 {
+		t.Fatalf("total utilization %v, want 0.6", total)
+	}
+	if cfg.Classes[0].Lambda != cfg.Classes[1].Lambda {
+		t.Fatal("per-class loads not equal")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.6)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Classes[0].Count != b.Classes[0].Count ||
+		a.Classes[0].MeanSlowdown != b.Classes[0].MeanSlowdown ||
+		a.Classes[1].MeanSlowdown != b.Classes[1].MeanSlowdown ||
+		a.EventsProcessed != b.EventsProcessed {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a.Classes, b.Classes)
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.6)
+	a, _ := Run(cfg)
+	cfg.Seed = 2
+	b, _ := Run(cfg)
+	if a.Classes[0].MeanSlowdown == b.Classes[0].MeanSlowdown {
+		t.Fatal("different seeds produced identical slowdowns")
+	}
+}
+
+// TestMD1SingleClass pins the engine against the exact M/D/1 slowdown of
+// Eq. 15: a single class owning the whole server with constant sizes.
+func TestMD1SingleClass(t *testing.T) {
+	det, _ := dist.NewDeterministic(1)
+	cfg := Config{
+		Classes: []ClassConfig{{Delta: 1, Lambda: 0.5}},
+		Service: det,
+		Warmup:  2000, Horizon: 40000, Seed: 7,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := queueing.MD1Slowdown(0.5, 1, 1)
+	if relErr(res.Classes[0].MeanSlowdown, want) > 0.08 {
+		t.Fatalf("M/D/1 slowdown %v, want %v (±8%%)", res.Classes[0].MeanSlowdown, want)
+	}
+	// Mean service time must be exactly 1 (full rate, constant size).
+	if relErr(res.Classes[0].MeanService, 1) > 1e-9 {
+		t.Fatalf("mean service %v, want 1", res.Classes[0].MeanService)
+	}
+}
+
+// TestPKWaitSingleClass checks the engine's mean queueing delay against
+// Pollaczek–Khinchin under the paper's Bounded Pareto. E[W] depends on the
+// sample second moment, which converges slowly for α=1.5, so the check
+// averages several replications and uses a correspondingly loose band.
+func TestPKWaitSingleClass(t *testing.T) {
+	svc := dist.PaperDefault()
+	lambda := 0.6 / svc.Mean()
+	var sum float64
+	const runs = 10
+	for seed := uint64(0); seed < runs; seed++ {
+		cfg := Config{
+			Classes: []ClassConfig{{Delta: 1, Lambda: lambda}},
+			Warmup:  5000, Horizon: 60000, Seed: seed,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Classes[0].MeanDelay
+	}
+	got := sum / runs
+	want, _ := queueing.PKWait(lambda, svc)
+	if relErr(got, want) > 0.2 {
+		t.Fatalf("mean delay %v, want %v (±20%%)", got, want)
+	}
+}
+
+// TestSimMatchesEq18TwoClasses is the Figure 2 claim in miniature: the
+// measured slowdowns track the model predictions.
+func TestSimMatchesEq18TwoClasses(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		cfg := fastConfig([]float64{1, 2}, rho)
+		agg, err := RunReplications(cfg, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range agg.MeanSlowdowns {
+			if relErr(agg.MeanSlowdowns[i], agg.ExpectedSlowdowns[i]) > 0.2 {
+				t.Errorf("rho=%v class %d: sim %v vs expected %v",
+					rho, i, agg.MeanSlowdowns[i], agg.ExpectedSlowdowns[i])
+			}
+		}
+	}
+}
+
+// TestRatiosTrackDeltas is the controllability claim (Figure 9): achieved
+// mean slowdown ratios approximate δ ratios.
+func TestRatiosTrackDeltas(t *testing.T) {
+	for _, d2 := range []float64{2, 4} {
+		cfg := fastConfig([]float64{1, d2}, 0.6)
+		agg, err := RunReplications(cfg, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr(agg.MeanRatios[1], d2) > 0.25 {
+			t.Errorf("delta2=%v: achieved ratio %v", d2, agg.MeanRatios[1])
+		}
+	}
+}
+
+func TestThreeClassRatios(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2, 3}, 0.6)
+	agg, err := RunReplications(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(agg.MeanRatios[1], 2) > 0.3 || relErr(agg.MeanRatios[2], 3) > 0.3 {
+		t.Fatalf("three-class ratios = %v, want ≈ [_, 2, 3]", agg.MeanRatios)
+	}
+	// Predictability ordering: class 1 strictly best.
+	if !(agg.MeanSlowdowns[0] < agg.MeanSlowdowns[1] && agg.MeanSlowdowns[1] < agg.MeanSlowdowns[2]) {
+		t.Fatalf("slowdowns not ordered by class: %v", agg.MeanSlowdowns)
+	}
+}
+
+func TestWorkConservingImprovesSystemSlowdown(t *testing.T) {
+	base := fastConfig([]float64{1, 2}, 0.7)
+	part, err := RunReplications(base, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := base
+	wc.WorkConserving = true
+	cons, err := RunReplications(wc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redistributing idle capacity cannot hurt aggregate performance;
+	// allow a small tolerance for noise.
+	if cons.SystemSlowdown > part.SystemSlowdown*1.05 {
+		t.Fatalf("work-conserving system slowdown %v worse than partitioned %v",
+			cons.SystemSlowdown, part.SystemSlowdown)
+	}
+}
+
+func TestOracleModeReducesRatioSpread(t *testing.T) {
+	noisy := fastConfig([]float64{1, 8}, 0.5)
+	noisy.Seed = 3
+	est, err := RunReplications(noisy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := noisy
+	oracle.Oracle = true
+	orc, err := RunReplications(oracle, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.4: estimation error drives the gap at large δ; the oracle should
+	// land at least as close to the target ratio of 8.
+	gapEst := math.Abs(est.MeanRatios[1] - 8)
+	gapOrc := math.Abs(orc.MeanRatios[1] - 8)
+	if gapOrc > gapEst*1.5 {
+		t.Fatalf("oracle ratio gap %v much worse than estimated %v", gapOrc, gapEst)
+	}
+}
+
+func TestRecordRequests(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.5)
+	cfg.RecordRequests = true
+	cfg.RecordFrom = 10000
+	cfg.RecordTo = 12000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("no records captured")
+	}
+	for _, r := range res.Records {
+		if r.Completion < 10000 || r.Completion >= 12000 {
+			t.Fatalf("record outside range: %+v", r)
+		}
+		dur := r.Completion - r.ServiceStart
+		delay := r.ServiceStart - r.Arrival
+		if dur <= 0 || delay < 0 {
+			t.Fatalf("inconsistent record times: %+v", r)
+		}
+		if relErr(r.Slowdown, delay/dur) > 1e-9 {
+			t.Fatalf("slowdown %v != delay/duration %v", r.Slowdown, delay/dur)
+		}
+		if r.Class < 0 || r.Class > 1 {
+			t.Fatalf("bad class: %+v", r)
+		}
+	}
+}
+
+func TestNoRecordsWhenDisabled(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.5)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Fatal("records captured despite RecordRequests=false")
+	}
+}
+
+func TestThroughputConservation(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.6)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cc := range cfg.Classes {
+		wantCount := cc.Lambda * cfg.Horizon
+		got := float64(res.Classes[i].Count)
+		// Completions during [warmup, warmup+horizon] ≈ arrivals in an
+		// equally long interval; 10% covers Poisson noise and boundary
+		// effects at this horizon.
+		if math.Abs(got-wantCount)/wantCount > 0.1 {
+			t.Errorf("class %d completions %v, want ≈ %v", i, got, wantCount)
+		}
+	}
+}
+
+func TestZeroLambdaClassDoesNotBreak(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.5)
+	cfg.Classes[1].Lambda = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes[1].Count != 0 {
+		t.Fatalf("idle class measured %d requests", res.Classes[1].Count)
+	}
+	if res.Classes[0].Count == 0 {
+		t.Fatal("active class starved")
+	}
+}
+
+func TestPerClassServiceOverride(t *testing.T) {
+	det, _ := dist.NewDeterministic(0.2)
+	cfg := fastConfig([]float64{1, 2}, 0.5)
+	cfg.Classes[0].Service = det
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class 0's sizes are all 0.2; its mean service time is 0.2/rate,
+	// which must be at least 0.2 (rate ≤ 1).
+	if res.Classes[0].MeanService < 0.2 {
+		t.Fatalf("override ignored: mean service %v < 0.2", res.Classes[0].MeanService)
+	}
+}
+
+func TestBaselineDemandProportionalNoDifferentiation(t *testing.T) {
+	cfg := fastConfig([]float64{1, 4}, 0.6)
+	cfg.Allocator = core.DemandProportional{}
+	agg, err := RunReplications(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand-proportional equalizes slowdowns: ratio ≈ 1, far from 4.
+	if agg.MeanRatios[1] > 1.5 {
+		t.Fatalf("demand-proportional ratio %v, expected ≈ 1", agg.MeanRatios[1])
+	}
+}
+
+func TestWindowRatioSkipsEmptyWindows(t *testing.T) {
+	res := &Result{Classes: []ClassStats{
+		{WindowMeans: []float64{1, math.NaN(), 2, 4}},
+		{WindowMeans: []float64{2, 3, math.NaN(), 8}},
+	}}
+	ratios := res.WindowRatio(1, 0)
+	if len(ratios) != 2 || ratios[0] != 2 || ratios[1] != 2 {
+		t.Fatalf("ratios = %v, want [2 2]", ratios)
+	}
+}
+
+func TestRunReplicationsValidation(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.5)
+	if _, err := RunReplications(cfg, 0); err == nil {
+		t.Fatal("accepted zero replications")
+	}
+}
+
+func TestAggregateFields(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.5)
+	agg, err := RunReplications(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 5 {
+		t.Fatalf("runs = %d", agg.Runs)
+	}
+	if !(agg.CI95[0] > 0) || !(agg.CI95[1] > 0) {
+		t.Fatalf("CI95 not positive: %v", agg.CI95)
+	}
+	rs := agg.RatioSummaries[1]
+	if !(rs.P05 <= rs.P50 && rs.P50 <= rs.P95) {
+		t.Fatalf("ratio percentiles unordered: %+v", rs)
+	}
+	if rs.N == 0 {
+		t.Fatal("no pooled window ratios")
+	}
+	sys := ExpectedSystemSlowdown(cfg, agg)
+	if math.IsNaN(sys) || sys <= 0 {
+		t.Fatalf("expected system slowdown = %v", sys)
+	}
+}
+
+func TestReplicationsDeterministic(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.5)
+	a, err := RunReplications(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplications(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.MeanSlowdowns {
+		if a.MeanSlowdowns[i] != b.MeanSlowdowns[i] {
+			t.Fatalf("aggregate not deterministic: %v vs %v", a.MeanSlowdowns, b.MeanSlowdowns)
+		}
+	}
+}
+
+func TestHighLoadStability(t *testing.T) {
+	// At 95% the estimator occasionally sees ρ̂ ≥ 1; the run must survive
+	// via the keep-previous-rates fallback and still differentiate.
+	cfg := fastConfig([]float64{1, 2}, 0.95)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes[0].Count == 0 || res.Classes[1].Count == 0 {
+		t.Fatal("classes starved at high load")
+	}
+	if res.Classes[0].MeanSlowdown >= res.Classes[1].MeanSlowdown {
+		t.Fatalf("ordering violated at 95%% load: %v vs %v",
+			res.Classes[0].MeanSlowdown, res.Classes[1].MeanSlowdown)
+	}
+}
+
+func TestEstimator(t *testing.T) {
+	e := newEstimator(2, 3)
+	if got := e.lambdas(100); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty estimator lambdas = %v", got)
+	}
+	e.observe(0, 2.0)
+	e.observe(0, 3.0)
+	e.observe(1, 1.0)
+	e.roll()
+	l := e.lambdas(100)
+	if relErr(l[0], 0.02) > 1e-12 || relErr(l[1], 0.01) > 1e-12 {
+		t.Fatalf("lambdas after 1 window = %v", l)
+	}
+	loads := e.loads(100)
+	if relErr(loads[0], 0.05) > 1e-12 {
+		t.Fatalf("loads = %v", loads)
+	}
+	// Fill beyond history; ring must keep only the last 3 windows.
+	for w := 0; w < 5; w++ {
+		e.observe(0, 1.0) // one arrival per window
+		e.roll()
+	}
+	l = e.lambdas(100)
+	if relErr(l[0], 1.0/100) > 1e-12 {
+		t.Fatalf("ring lambdas = %v, want 0.01", l)
+	}
+	if l[1] != 0 {
+		t.Fatalf("stale class-1 data leaked: %v", l)
+	}
+}
+
+func BenchmarkRunTwoClasses(b *testing.B) {
+	cfg := EqualLoadConfig([]float64{1, 2}, 0.7, nil)
+	cfg.Warmup = 1000
+	cfg.Horizon = 10000
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package simsrv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TraceRequest is one externally supplied arrival for trace-driven
+// replay (e.g. from internal/workload's session generator or a recorded
+// production trace).
+type TraceRequest struct {
+	Time  float64
+	Class int
+	Size  float64
+}
+
+// RunTrace replays a fixed arrival trace through the server model instead
+// of the Poisson generators. The Config's class Lambdas are ignored for
+// arrival generation but still seed the initial allocation (set them to
+// the trace's empirical rates — see workload.ClassRates — or leave zero to
+// start from an equal split); the estimator-driven reallocation then takes
+// over exactly as in the Poisson mode.
+//
+// Requests arriving after Warmup+Horizon are ignored. The trace must be
+// time-sorted with in-range classes and positive sizes.
+func RunTrace(cfg Config, trace []TraceRequest) (*Result, error) {
+	cfg = cfg.ApplyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("simsrv: empty trace")
+	}
+	if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].Time < trace[j].Time }) {
+		return nil, fmt.Errorf("simsrv: trace not time-sorted")
+	}
+	for i, tr := range trace {
+		if tr.Class < 0 || tr.Class >= len(cfg.Classes) {
+			return nil, fmt.Errorf("simsrv: trace[%d] class %d out of range", i, tr.Class)
+		}
+		if !(tr.Size > 0) {
+			return nil, fmt.Errorf("simsrv: trace[%d] size %v must be positive", i, tr.Size)
+		}
+		if tr.Time < 0 {
+			return nil, fmt.Errorf("simsrv: trace[%d] time %v negative", i, tr.Time)
+		}
+	}
+
+	w, err := coreWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newRunner(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+
+	// Chain trace arrivals one at a time to keep the event heap small.
+	var scheduleTrace func(idx int)
+	scheduleTrace = func(idx int) {
+		if idx >= len(trace) || trace[idx].Time > r.total {
+			return
+		}
+		tr := trace[idx]
+		r.sim.ScheduleAt(tr.Time, func() {
+			cs := r.classes[tr.Class]
+			req := &request{class: tr.Class, size: tr.Size, arrival: tr.Time}
+			r.est.observe(tr.Class, tr.Size)
+			cs.queue = append(cs.queue, req)
+			if !cs.busy() {
+				r.startService(cs)
+				if r.cfg.WorkConserving {
+					r.recomputeEffectiveRates()
+				}
+			}
+			scheduleTrace(idx + 1)
+		})
+	}
+	scheduleTrace(0)
+	r.scheduleReallocation()
+	r.sim.RunUntil(r.total)
+	return r.collect(), nil
+}

@@ -1,0 +1,135 @@
+package simsrv
+
+import (
+	"math"
+	"testing"
+
+	"psd/internal/rng"
+	"psd/internal/workload"
+)
+
+func TestRunTraceValidation(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.5)
+	if _, err := RunTrace(cfg, nil); err == nil {
+		t.Error("accepted empty trace")
+	}
+	if _, err := RunTrace(cfg, []TraceRequest{{Time: 5, Class: 0, Size: 1}, {Time: 1, Class: 0, Size: 1}}); err == nil {
+		t.Error("accepted unsorted trace")
+	}
+	if _, err := RunTrace(cfg, []TraceRequest{{Time: 1, Class: 9, Size: 1}}); err == nil {
+		t.Error("accepted out-of-range class")
+	}
+	if _, err := RunTrace(cfg, []TraceRequest{{Time: 1, Class: 0, Size: 0}}); err == nil {
+		t.Error("accepted zero size")
+	}
+	if _, err := RunTrace(cfg, []TraceRequest{{Time: -1, Class: 0, Size: 1}}); err == nil {
+		t.Error("accepted negative time")
+	}
+}
+
+// TestRunTraceMatchesPoissonStatistically replays a synthetic Poisson
+// trace and requires results comparable to the built-in generator at the
+// same load.
+func TestRunTraceMatchesPoissonStatistically(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.6)
+	// Build a Poisson trace with the same per-class rates.
+	src := rng.New(77)
+	var trace []TraceRequest
+	total := cfg.Warmup + cfg.Horizon
+	for class, cc := range cfg.Classes {
+		tt := src.ExpFloat64(cc.Lambda)
+		sizeSrc := src.Split(uint64(class + 100))
+		for tt < total {
+			trace = append(trace, TraceRequest{Time: tt, Class: class, Size: cfg.Service.Sample(sizeSrc)})
+			tt += src.ExpFloat64(cc.Lambda)
+		}
+	}
+	sortTrace(trace)
+	res, err := RunTrace(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes[0].Count == 0 || res.Classes[1].Count == 0 {
+		t.Fatal("trace replay produced no measurements")
+	}
+	// The PSD property must hold on replayed traffic too.
+	ratio := res.Classes[1].MeanSlowdown / res.Classes[0].MeanSlowdown
+	if ratio < 1.2 || ratio > 3.5 {
+		t.Fatalf("trace-replay ratio %v far from target 2", ratio)
+	}
+}
+
+func sortTrace(tr []TraceRequest) {
+	// insertion sort is fine for test-sized traces
+	for i := 1; i < len(tr); i++ {
+		for j := i; j > 0 && tr[j].Time < tr[j-1].Time; j-- {
+			tr[j], tr[j-1] = tr[j-1], tr[j]
+		}
+	}
+}
+
+// TestRunTraceSessionWorkload drives the CBMG e-commerce generator through
+// the simulator end to end.
+func TestRunTraceSessionWorkload(t *testing.T) {
+	model := workload.DefaultModel()
+	gen, err := workload.NewGenerator(model, 0.35, []float64{0.5, 0.5}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 22000.0
+	reqs, err := gen.Generate(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := workload.ClassRates(reqs, 2, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := make([]TraceRequest, len(reqs))
+	for i, r := range reqs {
+		trace[i] = TraceRequest{Time: r.Time, Class: r.Class, Size: r.Size}
+	}
+	cfg := Config{
+		Classes: []ClassConfig{
+			{Delta: 1, Lambda: rates[0]},
+			{Delta: 2, Lambda: rates[1]},
+		},
+		Warmup:  2000,
+		Horizon: total - 2000,
+		Seed:    1,
+	}
+	res, err := RunTrace(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes[0].Count == 0 || res.Classes[1].Count == 0 {
+		t.Fatal("session workload produced no measurements")
+	}
+	// Predictability ordering on realistic session traffic.
+	if !(res.Classes[0].MeanSlowdown < res.Classes[1].MeanSlowdown) {
+		t.Fatalf("ordering violated on session workload: %v vs %v",
+			res.Classes[0].MeanSlowdown, res.Classes[1].MeanSlowdown)
+	}
+	if math.IsNaN(res.SystemSlowdown) || res.SystemSlowdown <= 0 {
+		t.Fatalf("system slowdown %v", res.SystemSlowdown)
+	}
+}
+
+func TestRunTraceDeterministic(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.5)
+	trace := []TraceRequest{}
+	for i := 0; i < 2000; i++ {
+		trace = append(trace, TraceRequest{Time: float64(i) * 10, Class: i % 2, Size: 0.5})
+	}
+	a, err := RunTrace(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrace(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Classes[0].MeanSlowdown != b.Classes[0].MeanSlowdown || a.EventsProcessed != b.EventsProcessed {
+		t.Fatal("trace replay not deterministic")
+	}
+}

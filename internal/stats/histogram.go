@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LogHistogram bins positive observations into geometrically spaced
+// buckets, the natural choice for slowdown data that ranges from ~1 to
+// hundreds. Observations below Lo land in an underflow bucket and those at
+// or above Hi in an overflow bucket.
+type LogHistogram struct {
+	Lo, Hi    float64
+	counts    []int64
+	underflow int64
+	overflow  int64
+	total     int64
+	logLo     float64
+	logRatio  float64
+}
+
+// NewLogHistogram creates a histogram over [lo, hi) with n geometric
+// buckets.
+func NewLogHistogram(lo, hi float64, n int) (*LogHistogram, error) {
+	if !(lo > 0) || !(hi > lo) || n < 1 {
+		return nil, fmt.Errorf("stats: invalid log histogram [%v, %v) n=%d", lo, hi, n)
+	}
+	return &LogHistogram{
+		Lo: lo, Hi: hi,
+		counts:   make([]int64, n),
+		logLo:    math.Log(lo),
+		logRatio: math.Log(hi/lo) / float64(n),
+	}, nil
+}
+
+// Add bins one observation.
+func (h *LogHistogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int((math.Log(x) - h.logLo) / h.logRatio)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(h.counts) {
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Total returns the number of observations added.
+func (h *LogHistogram) Total() int64 { return h.total }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *LogHistogram) Underflow() int64 { return h.underflow }
+func (h *LogHistogram) Overflow() int64  { return h.overflow }
+
+// Bucket returns the [lo, hi) bounds and count of bucket i.
+func (h *LogHistogram) Bucket(i int) (lo, hi float64, count int64) {
+	lo = math.Exp(h.logLo + float64(i)*h.logRatio)
+	hi = math.Exp(h.logLo + float64(i+1)*h.logRatio)
+	return lo, hi, h.counts[i]
+}
+
+// NumBuckets returns the number of in-range buckets.
+func (h *LogHistogram) NumBuckets() int { return len(h.counts) }
+
+// QuantileEstimate returns an estimate of the q-th quantile assuming
+// uniform density within each bucket (log-uniform across its bounds).
+func (h *LogHistogram) QuantileEstimate(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	target := q * float64(h.total)
+	acc := float64(h.underflow)
+	if acc >= target {
+		return h.Lo
+	}
+	for i := range h.counts {
+		c := float64(h.counts[i])
+		if acc+c >= target && c > 0 {
+			lo, hi, _ := h.Bucket(i)
+			frac := (target - acc) / c
+			return lo * math.Pow(hi/lo, frac)
+		}
+		acc += c
+	}
+	return h.Hi
+}
+
+// Render draws an ASCII bar chart with the given maximum bar width, for
+// CLI reports.
+func (h *LogHistogram) Render(width int) string {
+	var maxCount int64 = 1
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	if h.underflow > 0 {
+		fmt.Fprintf(&sb, "%12s %8d\n", "< lo", h.underflow)
+	}
+	for i := range h.counts {
+		lo, hi, c := h.Bucket(i)
+		bar := strings.Repeat("#", int(float64(width)*float64(c)/float64(maxCount)))
+		fmt.Fprintf(&sb, "[%6.2f,%7.2f) %8d %s\n", lo, hi, c, bar)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&sb, "%12s %8d\n", ">= hi", h.overflow)
+	}
+	return sb.String()
+}
+
+// WindowSeries accumulates per-window means of a time-stamped metric, the
+// mechanism the paper uses to report slowdowns "measured for every
+// thousand time units" (§4.1). Windows are [i·W, (i+1)·W).
+type WindowSeries struct {
+	Width  float64
+	sums   []float64
+	counts []int64
+}
+
+// NewWindowSeries creates a series with the given window width (> 0).
+func NewWindowSeries(width float64) (*WindowSeries, error) {
+	if !(width > 0) {
+		return nil, fmt.Errorf("stats: window width %v must be positive", width)
+	}
+	return &WindowSeries{Width: width}, nil
+}
+
+// Observe records value v at time t (t ≥ 0).
+func (s *WindowSeries) Observe(t, v float64) {
+	if t < 0 {
+		return
+	}
+	i := int(t / s.Width)
+	for len(s.sums) <= i {
+		s.sums = append(s.sums, 0)
+		s.counts = append(s.counts, 0)
+	}
+	s.sums[i] += v
+	s.counts[i]++
+}
+
+// NumWindows returns the number of windows touched so far.
+func (s *WindowSeries) NumWindows() int { return len(s.sums) }
+
+// WindowMean returns the mean of window i and whether it has observations.
+func (s *WindowSeries) WindowMean(i int) (float64, bool) {
+	if i < 0 || i >= len(s.sums) || s.counts[i] == 0 {
+		return 0, false
+	}
+	return s.sums[i] / float64(s.counts[i]), true
+}
+
+// WindowCount returns the observation count of window i.
+func (s *WindowSeries) WindowCount(i int) int64 {
+	if i < 0 || i >= len(s.counts) {
+		return 0
+	}
+	return s.counts[i]
+}
+
+// Means returns the window means for all windows with data, along with the
+// window start times.
+func (s *WindowSeries) Means() (times, means []float64) {
+	for i := range s.sums {
+		if s.counts[i] > 0 {
+			times = append(times, float64(i)*s.Width)
+			means = append(means, s.sums[i]/float64(s.counts[i]))
+		}
+	}
+	return times, means
+}

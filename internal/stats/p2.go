@@ -1,0 +1,118 @@
+package stats
+
+import "sort"
+
+// P2 is the Jain & Chlamtac P² streaming quantile estimator: it tracks a
+// single quantile in O(1) space without storing the sample. The simulator
+// uses it for live percentile dashboards where retaining every slowdown
+// would be wasteful; batch reports use exact Quantile instead.
+type P2 struct {
+	q       float64    // target quantile
+	n       int        // observations seen
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	desired [5]float64
+	incr    [5]float64
+	initial []float64
+}
+
+// NewP2 creates an estimator for the q-th quantile, q in (0,1).
+func NewP2(q float64) *P2 {
+	if q <= 0 || q >= 1 {
+		panic("stats: P2 quantile must be in (0,1)")
+	}
+	p := &P2{q: q}
+	p.initial = make([]float64, 0, 5)
+	return p
+}
+
+// Add incorporates one observation.
+func (p *P2) Add(x float64) {
+	p.n++
+	if len(p.initial) < 5 {
+		p.initial = append(p.initial, x)
+		if len(p.initial) == 5 {
+			sort.Float64s(p.initial)
+			copy(p.heights[:], p.initial)
+			for i := range p.pos {
+				p.pos[i] = float64(i + 1)
+			}
+			p.desired = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+			p.incr = [5]float64{0, p.q / 2, p.q, (1 + p.q) / 2, 1}
+		}
+		return
+	}
+
+	// Find cell k such that heights[k] <= x < heights[k+1].
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for i := 1; i < 5; i++ {
+			if x < p.heights[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.desired {
+		p.desired[i] += p.incr[i]
+	}
+
+	// Adjust interior markers.
+	for i := 1; i <= 3; i++ {
+		d := p.desired[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+func (p *P2) parabolic(i int, d float64) float64 {
+	num1 := p.pos[i] - p.pos[i-1] + d
+	num2 := p.pos[i+1] - p.pos[i] - d
+	den := p.pos[i+1] - p.pos[i-1]
+	t1 := (p.heights[i+1] - p.heights[i]) / (p.pos[i+1] - p.pos[i])
+	t2 := (p.heights[i] - p.heights[i-1]) / (p.pos[i] - p.pos[i-1])
+	return p.heights[i] + d/den*(num1*t1+num2*t2)
+}
+
+func (p *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// N returns the number of observations consumed.
+func (p *P2) N() int { return p.n }
+
+// Value returns the current quantile estimate. Before 5 observations it
+// falls back to the exact quantile of the buffered sample.
+func (p *P2) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if len(p.initial) < 5 {
+		sorted := append([]float64(nil), p.initial...)
+		sort.Float64s(sorted)
+		return QuantileSorted(sorted, p.q)
+	}
+	return p.heights[2]
+}

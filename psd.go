@@ -1,0 +1,90 @@
+package psd
+
+import (
+	"psd/internal/core"
+	"psd/internal/dist"
+	"psd/internal/figures"
+	"psd/internal/queueing"
+	"psd/internal/simsrv"
+)
+
+// Re-exported core types: see the respective internal packages for full
+// documentation.
+type (
+	// Class pairs a differentiation parameter δ with an arrival rate.
+	Class = core.Class
+	// Workload carries the job-size moments the allocator needs.
+	Workload = core.Workload
+	// Allocation is a rate split plus its predicted slowdowns.
+	Allocation = core.Allocation
+	// Allocator is the pluggable rate-allocation strategy interface.
+	Allocator = core.Allocator
+	// Distribution is a positive job-size law with analytic moments.
+	Distribution = dist.Distribution
+	// BoundedPareto is the paper's heavy-tailed size distribution.
+	BoundedPareto = dist.BoundedPareto
+	// SimConfig parametrizes one simulation run (paper §4.1 defaults).
+	SimConfig = simsrv.Config
+	// SimClass declares one class in a simulation.
+	SimClass = simsrv.ClassConfig
+	// SimResult is a single replication's outcome.
+	SimResult = simsrv.Result
+	// SimAggregate averages many replications (paper: 100 runs).
+	SimAggregate = simsrv.Aggregate
+	// Figure is one regenerated evaluation figure.
+	Figure = figures.Figure
+	// FigureOptions sets figure fidelity (runs, horizon, loads).
+	FigureOptions = figures.Options
+)
+
+// NewBoundedPareto constructs BP(k, p, α); the paper's default is
+// BP(0.1, 100, 1.5) via PaperWorkload.
+func NewBoundedPareto(k, p, alpha float64) (*BoundedPareto, error) {
+	return dist.NewBoundedPareto(k, p, alpha)
+}
+
+// PaperWorkload returns the paper's §4.1 Bounded Pareto: k=0.1, p=100,
+// α=1.5.
+func PaperWorkload() *BoundedPareto { return dist.PaperDefault() }
+
+// AllocateRates runs the paper's Eq. 17 strategy: given per-class demand
+// and δ, split unit capacity so expected slowdowns are proportional to δ.
+func AllocateRates(classes []Class, d Distribution) (Allocation, error) {
+	w, err := core.WorkloadFromDist(d)
+	if err != nil {
+		return Allocation{}, err
+	}
+	return core.PSD{}.Allocate(classes, w)
+}
+
+// ExpectedSlowdown evaluates Theorem 1: the mean slowdown of a Poisson(λ)
+// class on a task server of capacity rate with job sizes from d.
+func ExpectedSlowdown(lambda float64, d Distribution, rate float64) (float64, error) {
+	return queueing.TaskServerSlowdown(lambda, d, rate)
+}
+
+// Simulate runs one replication of the paper's simulation model.
+func Simulate(cfg SimConfig) (*SimResult, error) { return simsrv.Run(cfg) }
+
+// SimulateN runs n independent replications in parallel and aggregates
+// them (the paper reports averages of 100 runs).
+func SimulateN(cfg SimConfig, n int) (*SimAggregate, error) {
+	return simsrv.RunReplications(cfg, n)
+}
+
+// EqualLoadSimConfig builds the paper's standard scenario: classes with
+// the given δ values at equal per-class load summing to utilization rho.
+// Pass nil for the paper's default service distribution.
+func EqualLoadSimConfig(deltas []float64, rho float64, service Distribution) SimConfig {
+	return simsrv.EqualLoadConfig(deltas, rho, service)
+}
+
+// GenerateFigure regenerates one of the paper's evaluation figures
+// (IDs 2–12).
+func GenerateFigure(id int, opts FigureOptions) (Figure, error) {
+	return figures.Generate(id, opts)
+}
+
+// PSDAllocator returns the paper's allocator; baselines live in
+// internal/core (EqualShare, DemandProportional, PDD, Static).
+func PSDAllocator() Allocator { return core.PSD{} }

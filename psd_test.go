@@ -1,0 +1,85 @@
+package psd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeAllocateRates(t *testing.T) {
+	d := PaperWorkload()
+	lambda := 0.3 / d.Mean()
+	alloc, err := AllocateRates([]Class{{Delta: 1, Lambda: lambda}, {Delta: 2, Lambda: lambda}}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := alloc.Rates[0] + alloc.Rates[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("rates sum to %v", sum)
+	}
+	ratio := alloc.ExpectedSlowdowns[1] / alloc.ExpectedSlowdowns[0]
+	if math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("predicted ratio %v, want 2", ratio)
+	}
+}
+
+func TestFacadeExpectedSlowdown(t *testing.T) {
+	d := PaperWorkload()
+	s, err := ExpectedSlowdown(0.5/d.Mean(), d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Fatalf("slowdown %v", s)
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	cfg := EqualLoadSimConfig([]float64{1, 2}, 0.5, nil)
+	cfg.Warmup = 1000
+	cfg.Horizon = 6000
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes[0].Count == 0 {
+		t.Fatal("no requests measured")
+	}
+	agg, err := SimulateN(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 3 {
+		t.Fatalf("runs = %d", agg.Runs)
+	}
+}
+
+func TestFacadeGenerateFigure(t *testing.T) {
+	fig, err := GenerateFigure(9, FigureOptions{
+		Runs: 2, Horizon: 5000, Warmup: 500, Loads: []float64{0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != 9 || len(fig.Series) == 0 {
+		t.Fatalf("figure malformed: %+v", fig)
+	}
+}
+
+func TestFacadeNewBoundedPareto(t *testing.T) {
+	if _, err := NewBoundedPareto(1, 0.5, 1.5); err == nil {
+		t.Fatal("invalid BP accepted")
+	}
+	d, err := NewBoundedPareto(0.1, 100, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean() <= 0 {
+		t.Fatal("bad mean")
+	}
+}
+
+func TestFacadePSDAllocatorName(t *testing.T) {
+	if PSDAllocator().Name() != "psd" {
+		t.Fatal("wrong default allocator")
+	}
+}
