@@ -39,10 +39,17 @@
 //
 //	internal/core      Eq. 17 allocator + baselines (the contribution)
 //	internal/queueing  Lemma 1/2, Theorem 1, Eq. 15 closed forms
-//	internal/dist      Bounded Pareto & friends, with E[1/X]
-//	internal/simsrv    the paper's simulation model (Fig. 1)
+//	internal/dist      job-size laws (Bounded Pareto & friends) with
+//	                   closed-form E[X], E[X²], E[1/X] and seeded samplers
+//	internal/rng       xoshiro256** PRNG with split/jump substreams
+//	internal/des       discrete-event simulation core (clock + event set)
+//	internal/stats     streaming moments, histograms, P² quantiles
 //	internal/sched     GPS/WFQ/DRR/WRR/Lottery substrate
 //	internal/control   load estimators, feedback extension
+//	internal/admission overload protection complementing differentiation
+//	internal/simsrv    the paper's simulation model (Fig. 1)
+//	internal/workload  session-based e-commerce request streams
+//	internal/loadgen   open-loop Poisson HTTP load driver
 //	internal/httpsrv   PSD on a real net/http server
 //	internal/figures   Figures 2–12 regeneration
 //

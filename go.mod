@@ -1,0 +1,3 @@
+module psd
+
+go 1.24

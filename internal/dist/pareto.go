@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"psd/internal/rng"
+)
+
+// BoundedPareto is the paper's heavy-tailed job-size law BP(k, p, α)
+// (§4.1): a Pareto of shape α truncated to [k, p], with density
+//
+//	f(x) = α·k^α·x^(−α−1) / (1 − (k/p)^α),   k ≤ x ≤ p.
+//
+// The truncation keeps every moment finite — including E[1/X], which the
+// slowdown closed form needs — while preserving the "many small jobs,
+// rare huge jobs" mass profile of measured web workloads. Fields are
+// read-only after construction; use NewBoundedPareto so the cached
+// moments stay consistent.
+type BoundedPareto struct {
+	// K is the lower bound (smallest job size), k > 0.
+	K float64
+	// P is the upper bound (largest job size), p > k.
+	P float64
+	// Alpha is the tail index; smaller α means burstier sizes. The
+	// untruncated Pareto's E[X] diverges for α ≤ 1 and E[X²] for α ≤ 2,
+	// so α ∈ (1, 2) is the classic heavy-tail regime.
+	Alpha float64
+
+	mean, second, inverse float64
+	// Sampling caches for the inverse CDF x = k·(1 − u·D)^(−1/α) with
+	// D = 1 − (k/p)^α.
+	trunc   float64 // D
+	negInvA float64 // −1/α
+}
+
+// NewBoundedPareto constructs BP(k, p, alpha) and precomputes its
+// moments. It requires 0 < k < p and alpha > 0, all finite.
+func NewBoundedPareto(k, p, alpha float64) (*BoundedPareto, error) {
+	if err := checkParam("Bounded Pareto lower bound k", k); err != nil {
+		return nil, err
+	}
+	if err := checkParam("Bounded Pareto upper bound p", p); err != nil {
+		return nil, err
+	}
+	if err := checkParam("Bounded Pareto shape alpha", alpha); err != nil {
+		return nil, err
+	}
+	if !(k < p) {
+		return nil, fmt.Errorf("dist: Bounded Pareto bounds k=%v < p=%v required", k, p)
+	}
+	d := &BoundedPareto{K: k, P: p, Alpha: alpha}
+	d.trunc = 1 - math.Pow(k/p, alpha)
+	d.negInvA = -1 / alpha
+	d.mean = d.moment(1)
+	d.second = d.moment(2)
+	d.inverse = d.moment(-1)
+	// A Bounded Pareto's E[1/X] is always finite in exact arithmetic
+	// (the truncation at k bounds it), so +Inf here can only be
+	// overflow, never true divergence — reject it on top of the shared
+	// mean/second-moment guard.
+	if math.IsInf(d.inverse, 1) {
+		return nil, fmt.Errorf("dist: %s moments overflow float64 (E[1/X]=%v)", d, d.inverse)
+	}
+	if _, err := checkMoments(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustBoundedPareto is NewBoundedPareto that panics on invalid
+// parameters; for tests and package-level defaults.
+func MustBoundedPareto(k, p, alpha float64) *BoundedPareto {
+	d, err := NewBoundedPareto(k, p, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// PaperDefault returns the paper's M/G_B/1 workload BP(k=0.1, p=100,
+// α=1.5): mean ≈ 0.2905 work units with a three-decade size spread.
+func PaperDefault() *BoundedPareto {
+	return MustBoundedPareto(0.1, 100, 1.5)
+}
+
+// moment returns E[X^n] in closed form:
+//
+//	E[X^n] = α·k^α/(1−(k/p)^α) · (p^(n−α) − k^(n−α))/(n−α),   n ≠ α
+//	E[X^α] = α·k^α/(1−(k/p)^α) · ln(p/k)                      (n = α)
+//
+// The n = α branch is the limit of the first as n → α and covers the
+// paper's sensitivity sweeps, which include α = 1 (mean) and α = 2
+// (second moment) exactly.
+func (d *BoundedPareto) moment(n float64) float64 {
+	coeff := d.Alpha * math.Pow(d.K, d.Alpha) / d.trunc
+	if n == d.Alpha {
+		return coeff * math.Log(d.P/d.K)
+	}
+	return coeff * (math.Pow(d.P, n-d.Alpha) - math.Pow(d.K, n-d.Alpha)) / (n - d.Alpha)
+}
+
+// Mean returns E[X].
+func (d *BoundedPareto) Mean() float64 { return d.mean }
+
+// SecondMoment returns E[X²].
+func (d *BoundedPareto) SecondMoment() float64 { return d.second }
+
+// InverseMoment returns E[1/X]; the lower truncation at k > 0 keeps it
+// finite for every valid parameterization.
+func (d *BoundedPareto) InverseMoment() float64 { return d.inverse }
+
+// Sample draws one size by inverting the CDF
+// F(x) = (1 − (k/x)^α)/(1 − (k/p)^α): one uniform variate per call.
+func (d *BoundedPareto) Sample(src *rng.Source) float64 {
+	u := src.Float64() // [0, 1): u=0 maps to k, u→1 approaches p
+	return d.K * math.Pow(1-u*d.trunc, d.negInvA)
+}
+
+// Scaled returns this law under Lemma 2's capacity transform: job sizes
+// divided by rate, as seen by a server of that capacity.
+func (d *BoundedPareto) Scaled(rate float64) (Distribution, error) {
+	return NewScaled(d, rate)
+}
+
+func (d *BoundedPareto) String() string {
+	return fmt.Sprintf("BoundedPareto(k=%g, p=%g, alpha=%g)", d.K, d.P, d.Alpha)
+}
