@@ -1,0 +1,173 @@
+// Command psdbench measures end-to-end simulation throughput and writes
+// a machine-readable baseline (BENCH_psd.json by default). The committed
+// baseline is the repo's performance trajectory: regenerate it after any
+// engine change and compare events_per_sec against the previous commit.
+//
+// Each scenario runs full paper-fidelity replications (10,000 tu warmup +
+// 60,000 tu measured, §4.1) single-threaded, so events_per_sec is a
+// per-core number directly comparable to BenchmarkReplication.
+//
+// Usage:
+//
+//	psdbench                     # writes BENCH_psd.json in the cwd
+//	psdbench -runs 16 -o out.json
+//	psdbench -o -                # print JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"psd/internal/simsrv"
+)
+
+type scenarioResult struct {
+	Name           string  `json:"name"`
+	Classes        int     `json:"classes"`
+	Load           float64 `json:"load"`
+	Model          string  `json:"model"`
+	Runs           int     `json:"runs"`
+	Warmup         float64 `json:"warmup"`
+	Horizon        float64 `json:"horizon"`
+	Events         uint64  `json:"events"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+type report struct {
+	Schema      string           `json:"schema"`
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOOS        string           `json:"goos"`
+	GOARCH      string           `json:"goarch"`
+	Scenarios   []scenarioResult `json:"scenarios"`
+}
+
+type scenario struct {
+	name       string
+	deltas     []float64
+	load       float64
+	packetized bool
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_psd.json", "output path, or - for stdout")
+		runs    = flag.Int("runs", 8, "replications per scenario")
+		warmup  = flag.Float64("warmup", 10000, "warmup duration (time units)")
+		horizon = flag.Float64("horizon", 60000, "measured duration (time units)")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	scenarios := []scenario{
+		{name: "2class-load0.6", deltas: []float64{1, 4}, load: 0.6},
+		{name: "5class-load0.8", deltas: []float64{1, 2, 4, 8, 16}, load: 0.8},
+		{name: "2class-load0.6-packetized", deltas: []float64{1, 4}, load: 0.6, packetized: true},
+	}
+
+	rep := report{
+		Schema:      "psd-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+	for _, sc := range scenarios {
+		res, err := runScenario(sc, *runs, *warmup, *horizon, *seed)
+		if err != nil {
+			fatalf("%s: %v", sc.name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+		fmt.Fprintf(os.Stderr, "%-28s %10d events  %8.3fs  %12.0f events/s  %6.1f ns/event  %.4f allocs/event\n",
+			res.Name, res.Events, res.WallSeconds, res.EventsPerSec, res.NsPerEvent, res.AllocsPerEvent)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("encode: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func runScenario(sc scenario, runs int, warmup, horizon float64, seed uint64) (scenarioResult, error) {
+	cfg := simsrv.EqualLoadConfig(sc.deltas, sc.load, nil)
+	cfg.Warmup = warmup
+	cfg.Horizon = horizon
+
+	model := "partitioned"
+	if sc.packetized {
+		model = "packetized-scfq"
+	}
+	run := func(s uint64) (uint64, error) {
+		cfg.Seed = s
+		var (
+			res *simsrv.Result
+			err error
+		)
+		if sc.packetized {
+			res, err = simsrv.RunPacketized(simsrv.PacketizedConfig{Config: cfg})
+		} else {
+			res, err = simsrv.Run(cfg)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return res.EventsProcessed, nil
+	}
+
+	// One untimed warmup replication so JIT-ish one-time costs (page
+	// faults, arena growth) don't pollute the measurement.
+	if _, err := run(seed); err != nil {
+		return scenarioResult{}, err
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	var events uint64
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		n, err := run(seed + uint64(i))
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		events += n
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+
+	return scenarioResult{
+		Name:           sc.name,
+		Classes:        len(sc.deltas),
+		Load:           sc.load,
+		Model:          model,
+		Runs:           runs,
+		Warmup:         warmup,
+		Horizon:        horizon,
+		Events:         events,
+		WallSeconds:    wall,
+		EventsPerSec:   float64(events) / wall,
+		NsPerEvent:     wall * 1e9 / float64(events),
+		AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / float64(events),
+	}, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "psdbench: "+format+"\n", args...)
+	os.Exit(1)
+}

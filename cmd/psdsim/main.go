@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"psd/internal/core"
 	"psd/internal/dist"
@@ -70,10 +71,12 @@ func main() {
 		fatalf("unknown allocator %q", *allocator)
 	}
 
+	start := time.Now()
 	agg, err := simsrv.RunReplications(cfg, *runs)
 	if err != nil {
 		fatalf("simulation failed: %v", err)
 	}
+	elapsed := time.Since(start)
 
 	fmt.Printf("PSD simulation — %d classes, load %.0f%%, %s allocator, %d runs × %g tu\n",
 		len(deltas), *load*100, cfg.Allocator.Name(), *runs, *horizon)
@@ -91,6 +94,9 @@ func main() {
 	}
 	fmt.Printf("\nsystem slowdown: %.4f (expected %.4f)\n",
 		agg.SystemSlowdown, simsrv.ExpectedSystemSlowdown(cfg, agg))
+	fmt.Printf("simulated %d events in %.2fs (%.2fM events/s aggregate)\n",
+		agg.EventsProcessed, elapsed.Seconds(),
+		float64(agg.EventsProcessed)/elapsed.Seconds()/1e6)
 	if agg.AllocFailures > 0 {
 		fmt.Printf("allocator fallbacks (kept previous rates): %d windows\n", agg.AllocFailures)
 	}

@@ -42,7 +42,9 @@
 //	internal/dist      job-size laws (Bounded Pareto & friends) with
 //	                   closed-form E[X], E[X²], E[1/X] and seeded samplers
 //	internal/rng       xoshiro256** PRNG with split/jump substreams
-//	internal/des       discrete-event simulation core (clock + event set)
+//	internal/des       allocation-free discrete-event core: 4-ary value
+//	                   heap, generation-checked EventID handles, typed
+//	                   (Handler, kind, data) dispatch
 //	internal/stats     streaming moments, histograms, P² quantiles
 //	internal/sched     GPS/WFQ/DRR/WRR/Lottery substrate
 //	internal/control   load estimators, feedback extension
@@ -56,4 +58,15 @@
 // Start with AllocateRates for the analytic strategy, Simulate for the
 // paper's experiment rig, or internal/httpsrv for a live server. The
 // runnable examples under examples/ walk through each.
+//
+// # Performance
+//
+// Every paper result averages 100 replications of a 70,000-time-unit
+// simulation, so events/sec of internal/des bounds how many scenarios
+// the harness can explore. BenchmarkReplication (root package) runs full
+// paper-fidelity replications and reports events/s, ns/event and
+// allocs/event; cmd/psdbench runs the same scenarios and writes the
+// committed BENCH_psd.json baseline. Seeded replications are
+// reproducible bit-for-bit across engine versions — the golden tests in
+// internal/simsrv pin exact trajectories.
 package psd

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"math"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -8,12 +9,15 @@ import (
 	"psd/internal/rng"
 )
 
+// fn wraps a closure as a Handler for test convenience.
+func fn(f func()) Handler { return HandlerFunc(func(_, _ int32) { f() }) }
+
 func TestEventsFireInTimeOrder(t *testing.T) {
 	s := New()
 	var fired []float64
 	for _, d := range []float64{5, 1, 3, 2, 4} {
 		d := d
-		s.Schedule(d, func() { fired = append(fired, d) })
+		s.Schedule(d, fn(func() { fired = append(fired, d) }), 0, 0)
 	}
 	s.Run()
 	if len(fired) != 5 {
@@ -29,26 +33,39 @@ func TestEventsFireInTimeOrder(t *testing.T) {
 
 func TestTieBreakIsFIFO(t *testing.T) {
 	s := New()
-	var order []int
-	for i := 0; i < 10; i++ {
-		i := i
-		s.Schedule(1.0, func() { order = append(order, i) })
+	var order []int32
+	h := HandlerFunc(func(_, data int32) { order = append(order, data) })
+	for i := int32(0); i < 10; i++ {
+		s.Schedule(1.0, h, 0, i)
 	}
 	s.Run()
 	for i, v := range order {
-		if v != i {
+		if v != int32(i) {
 			t.Fatalf("tie-break not FIFO: %v", order)
 		}
+	}
+}
+
+func TestKindAndDataDispatch(t *testing.T) {
+	s := New()
+	type hit struct{ kind, data int32 }
+	var hits []hit
+	h := HandlerFunc(func(kind, data int32) { hits = append(hits, hit{kind, data}) })
+	s.Schedule(1, h, 7, 42)
+	s.Schedule(2, h, 8, -3)
+	s.Run()
+	if len(hits) != 2 || hits[0] != (hit{7, 42}) || hits[1] != (hit{8, -3}) {
+		t.Fatalf("hits = %v", hits)
 	}
 }
 
 func TestScheduleFromWithinEvent(t *testing.T) {
 	s := New()
 	var hits []float64
-	s.Schedule(1, func() {
+	s.Schedule(1, fn(func() {
 		hits = append(hits, s.Now())
-		s.Schedule(2, func() { hits = append(hits, s.Now()) })
-	})
+		s.Schedule(2, fn(func() { hits = append(hits, s.Now()) }), 0, 0)
+	}), 0, 0)
 	s.Run()
 	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
 		t.Fatalf("hits = %v", hits)
@@ -58,25 +75,114 @@ func TestScheduleFromWithinEvent(t *testing.T) {
 func TestCancel(t *testing.T) {
 	s := New()
 	ran := false
-	e := s.Schedule(1, func() { ran = true })
-	s.Cancel(e)
+	e := s.Schedule(1, fn(func() { ran = true }), 0, 0)
+	if !s.Active(e) {
+		t.Fatal("scheduled event not active")
+	}
+	if !s.Cancel(e) {
+		t.Fatal("first cancel reported no-op")
+	}
 	s.Run()
 	if ran {
 		t.Fatal("canceled event ran")
 	}
-	if !e.Canceled() {
-		t.Fatal("event not marked canceled")
+	if s.Active(e) {
+		t.Fatal("canceled event still active")
 	}
-	// Double cancel and nil cancel are no-ops.
-	s.Cancel(e)
-	s.Cancel(nil)
+}
+
+func TestCancelTwice(t *testing.T) {
+	s := New()
+	e := s.Schedule(1, fn(func() {}), 0, 0)
+	if !s.Cancel(e) {
+		t.Fatal("first cancel failed")
+	}
+	if s.Cancel(e) {
+		t.Fatal("second cancel of the same handle reported success")
+	}
+	if s.Cancel(None) {
+		t.Fatal("canceling the zero EventID reported success")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	e := s.Schedule(1, fn(func() {}), 0, 0)
+	s.Run()
+	if s.Active(e) {
+		t.Fatal("fired event still active")
+	}
+	if s.Cancel(e) {
+		t.Fatal("cancel after fire reported success")
+	}
+	// The fired event's slot is free; a new event will reuse it. The
+	// stale handle must still be rejected.
+	e2 := s.Schedule(1, fn(func() {}), 0, 0)
+	if s.Cancel(e) {
+		t.Fatal("stale handle canceled a reused slot")
+	}
+	if !s.Active(e2) {
+		t.Fatal("stale cancel disturbed the new event")
+	}
+}
+
+// TestPoolReuseGenerationCheck exercises the free-list: slots are reused
+// aggressively, and handles from earlier generations must never resurrect
+// or affect the current occupant.
+func TestPoolReuseGenerationCheck(t *testing.T) {
+	s := New()
+	var old []EventID
+	for round := 0; round < 10; round++ {
+		e := s.Schedule(1, fn(func() {}), 0, 0)
+		for _, stale := range old {
+			if s.Cancel(stale) || s.Active(stale) {
+				t.Fatalf("round %d: stale handle %x acted on reused slot", round, stale)
+			}
+		}
+		if !s.Active(e) {
+			t.Fatalf("round %d: live handle reported inactive", round)
+		}
+		s.Cancel(e)
+		old = append(old, e)
+	}
+}
+
+// TestSteadyStateNoAlloc verifies the free-list claim: once warm, a
+// schedule/fire cycle performs zero heap allocations.
+func TestSteadyStateNoAlloc(t *testing.T) {
+	s := New()
+	h := HandlerFunc(func(_, _ int32) {})
+	// Warm the arena and the heap capacity.
+	for i := 0; i < 64; i++ {
+		s.Schedule(float64(i), h, 0, 0)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Schedule(1, h, 0, 0)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestCancelDuringExecution(t *testing.T) {
+	s := New()
+	ran := false
+	var victim EventID
+	s.Schedule(1, fn(func() { s.Cancel(victim) }), 0, 0)
+	victim = s.Schedule(2, fn(func() { ran = true }), 0, 0)
+	s.Run()
+	if ran {
+		t.Fatal("event canceled by an earlier event still ran")
+	}
 }
 
 func TestCancelRemovesFromHeap(t *testing.T) {
 	s := New()
-	events := make([]*Event, 100)
+	events := make([]EventID, 100)
 	for i := range events {
-		events[i] = s.Schedule(float64(i), func() {})
+		events[i] = s.Schedule(float64(i), fn(func() {}), 0, 0)
 	}
 	for _, e := range events[:50] {
 		s.Cancel(e)
@@ -84,17 +190,10 @@ func TestCancelRemovesFromHeap(t *testing.T) {
 	if s.Pending() != 50 {
 		t.Fatalf("pending = %d after eager removal, want 50", s.Pending())
 	}
-}
-
-func TestCancelDuringExecution(t *testing.T) {
-	s := New()
-	ran := false
-	var victim *Event
-	s.Schedule(1, func() { s.Cancel(victim) })
-	victim = s.Schedule(2, func() { ran = true })
+	// The survivors still fire in order.
 	s.Run()
-	if ran {
-		t.Fatal("event canceled by an earlier event still ran")
+	if s.Now() != 99 {
+		t.Fatalf("final time = %v, want 99", s.Now())
 	}
 }
 
@@ -103,7 +202,7 @@ func TestRunUntil(t *testing.T) {
 	var fired []float64
 	for _, d := range []float64{1, 2, 3, 4, 5} {
 		d := d
-		s.Schedule(d, func() { fired = append(fired, d) })
+		s.Schedule(d, fn(func() { fired = append(fired, d) }), 0, 0)
 	}
 	s.RunUntil(3)
 	if len(fired) != 3 {
@@ -121,13 +220,40 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// TestRunUntilInclusiveBoundary pins the closed-interval contract: an
+// event at exactly the horizon fires, one epsilon past it does not, and
+// an event scheduled AT the horizon from within a horizon-time event also
+// fires (the clock has not passed the horizon yet).
 func TestRunUntilInclusiveBoundary(t *testing.T) {
 	s := New()
-	ran := false
-	s.Schedule(3, func() { ran = true })
+	var fired []string
+	s.Schedule(3, fn(func() {
+		fired = append(fired, "at")
+		s.ScheduleAt(3, fn(func() { fired = append(fired, "nested-at") }), 0, 0)
+	}), 0, 0)
+	past := math.Nextafter(3, 4)
+	s.ScheduleAt(past, fn(func() { fired = append(fired, "past") }), 0, 0)
 	s.RunUntil(3)
-	if !ran {
-		t.Fatal("event at exactly the horizon should fire")
+	if len(fired) != 2 || fired[0] != "at" || fired[1] != "nested-at" {
+		t.Fatalf("fired = %v, want [at nested-at]", fired)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("now = %v, want horizon", s.Now())
+	}
+}
+
+func TestEventTime(t *testing.T) {
+	s := New()
+	e := s.Schedule(2.5, fn(func() {}), 0, 0)
+	if tm, ok := s.EventTime(e); !ok || tm != 2.5 {
+		t.Fatalf("EventTime = %v, %v", tm, ok)
+	}
+	s.Cancel(e)
+	if _, ok := s.EventTime(e); ok {
+		t.Fatal("EventTime of canceled event reported ok")
+	}
+	if _, ok := s.EventTime(None); ok {
+		t.Fatal("EventTime of zero handle reported ok")
 	}
 }
 
@@ -138,27 +264,27 @@ func TestSchedulePastPanics(t *testing.T) {
 			t.Fatal("negative delay did not panic")
 		}
 	}()
-	s.Schedule(-1, func() {})
+	s.Schedule(-1, fn(func() {}), 0, 0)
 }
 
 func TestScheduleAtPastPanics(t *testing.T) {
 	s := New()
-	s.Schedule(5, func() {})
+	s.Schedule(5, fn(func() {}), 0, 0)
 	s.Run()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("ScheduleAt in the past did not panic")
 		}
 	}()
-	s.ScheduleAt(1, func() {})
+	s.ScheduleAt(1, fn(func() {}), 0, 0)
 }
 
 func TestProcessedCount(t *testing.T) {
 	s := New()
 	for i := 0; i < 10; i++ {
-		s.Schedule(float64(i), func() {})
+		s.Schedule(float64(i), fn(func() {}), 0, 0)
 	}
-	e := s.Schedule(100, func() {})
+	e := s.Schedule(100, fn(func() {}), 0, 0)
 	s.Cancel(e)
 	s.Run()
 	if s.Processed() != 10 {
@@ -169,11 +295,14 @@ func TestProcessedCount(t *testing.T) {
 func TestDrain(t *testing.T) {
 	s := New()
 	ran := false
-	s.Schedule(1, func() { ran = true })
+	e := s.Schedule(1, fn(func() { ran = true }), 0, 0)
 	s.Drain()
 	s.Run()
 	if ran || s.Pending() != 0 {
 		t.Fatal("drain did not clear events")
+	}
+	if s.Active(e) || s.Cancel(e) {
+		t.Fatal("drained event handle still live")
 	}
 }
 
@@ -190,16 +319,16 @@ func TestDeterministicReplay(t *testing.T) {
 			trace = append(trace, s.Now())
 			count++
 			if count < 2000 {
-				s.Schedule(r.ExpFloat64(1), spawn)
+				s.Schedule(r.ExpFloat64(1), fn(spawn), 0, 0)
 				if r.Float64() < 0.3 {
-					e := s.Schedule(r.Float64()*5, func() { trace = append(trace, -s.Now()) })
+					e := s.Schedule(r.Float64()*5, fn(func() { trace = append(trace, -s.Now()) }), 0, 0)
 					if r.Float64() < 0.5 {
 						s.Cancel(e)
 					}
 				}
 			}
 		}
-		s.Schedule(0, spawn)
+		s.Schedule(0, fn(spawn), 0, 0)
 		s.Run()
 		return trace
 	}
@@ -228,7 +357,7 @@ func TestHeapOrderingProperty(t *testing.T) {
 		var fired []float64
 		for _, d := range delays {
 			d := d
-			s.Schedule(d, func() { fired = append(fired, d) })
+			s.Schedule(d, fn(func() { fired = append(fired, d) }), 0, 0)
 		}
 		s.Run()
 		return sort.Float64sAreSorted(fired) && len(fired) == len(delays)
@@ -238,17 +367,61 @@ func TestHeapOrderingProperty(t *testing.T) {
 	}
 }
 
+// TestRandomCancelOrderingProperty: under random interleaved schedules and
+// cancels, survivors still fire in (time, seq) order and canceled events
+// never fire — the determinism argument for eager removal.
+func TestRandomCancelOrderingProperty(t *testing.T) {
+	r := rng.New(99)
+	s := New()
+	type rec struct {
+		id       EventID
+		time     float64
+		canceled bool
+	}
+	var recs []rec
+	var fired []float64
+	h := HandlerFunc(func(_, data int32) { fired = append(fired, recs[data].time) })
+	for i := 0; i < 5000; i++ {
+		tm := r.Float64() * 1000
+		id := s.Schedule(tm, h, 0, int32(len(recs)))
+		recs = append(recs, rec{id: id, time: tm})
+		if r.Float64() < 0.4 && len(recs) > 0 {
+			v := r.Intn(len(recs))
+			if s.Cancel(recs[v].id) {
+				recs[v].canceled = true
+			}
+		}
+	}
+	s.Run()
+	var want []float64
+	for _, rc := range recs {
+		if !rc.canceled {
+			want = append(want, rc.time)
+		}
+	}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatal("survivors fired out of order")
+	}
+}
+
 func TestManyReschedules(t *testing.T) {
 	// Emulates the task-server pattern: repeatedly cancel + reschedule a
-	// completion event. The heap must stay consistent.
+	// completion event. The heap must stay consistent and the arena must
+	// not grow past a handful of slots.
 	s := New()
 	completions := 0
-	var e *Event
+	var e EventID
 	for i := 0; i < 1000; i++ {
-		if e != nil {
+		if e != None {
 			s.Cancel(e)
 		}
-		e = s.Schedule(float64(1000-i), func() { completions++ })
+		e = s.Schedule(float64(1000-i), fn(func() { completions++ }), 0, 0)
+	}
+	if len(s.slots) > 2 {
+		t.Fatalf("arena grew to %d slots under reschedule churn, want ≤ 2", len(s.slots))
 	}
 	s.Run()
 	if completions != 1 {
@@ -262,8 +435,10 @@ func TestManyReschedules(t *testing.T) {
 func BenchmarkScheduleRun(b *testing.B) {
 	s := New()
 	r := rng.New(1)
+	h := HandlerFunc(func(_, _ int32) {})
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s.Schedule(r.Float64()*100, func() {})
+		s.Schedule(r.Float64()*100, h, 0, 0)
 		if s.Pending() > 1024 {
 			for s.Pending() > 512 {
 				s.Step()
@@ -275,11 +450,13 @@ func BenchmarkScheduleRun(b *testing.B) {
 
 func BenchmarkCancelReschedule(b *testing.B) {
 	s := New()
-	var e *Event
+	h := HandlerFunc(func(_, _ int32) {})
+	var e EventID
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if e != nil {
+		if e != None {
 			s.Cancel(e)
 		}
-		e = s.ScheduleAt(s.Now()+1+float64(i%7), func() {})
+		e = s.ScheduleAt(s.Now()+1+float64(i%7), h, 0, 0)
 	}
 }

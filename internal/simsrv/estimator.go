@@ -52,38 +52,33 @@ func (e *estimator) roll() {
 	}
 }
 
-// lambdas returns the estimated per-class arrival rates over the retained
-// history, given the window width. Zero before any window has closed.
-func (e *estimator) lambdas(window float64) []float64 {
-	out := make([]float64, len(e.counts))
-	if e.filled == 0 {
-		return out
-	}
-	span := window * float64(e.filled)
-	for i := range e.counts {
-		sum := 0.0
-		for s := 0; s < e.filled; s++ {
-			sum += e.counts[i][s]
-		}
-		out[i] = sum / span
-	}
-	return out
+// lambdasInto fills dst with the estimated per-class arrival rates over
+// the retained history, given the window width. Zero before any window
+// has closed. The caller-provided dst keeps the per-window reallocation
+// tick allocation-free.
+func (e *estimator) lambdasInto(dst []float64, window float64) {
+	ringInto(dst, e.counts, window, e.filled)
 }
 
-// loads returns the estimated per-class offered load (work per time unit)
-// over the retained history.
-func (e *estimator) loads(window float64) []float64 {
-	out := make([]float64, len(e.work))
-	if e.filled == 0 {
-		return out
-	}
-	span := window * float64(e.filled)
-	for i := range e.work {
-		sum := 0.0
-		for s := 0; s < e.filled; s++ {
-			sum += e.work[i][s]
+// loadsInto fills dst with the estimated per-class offered load (work per
+// time unit) over the retained history.
+func (e *estimator) loadsInto(dst []float64, window float64) {
+	ringInto(dst, e.work, window, e.filled)
+}
+
+func ringInto(dst []float64, ring [][]float64, window float64, filled int) {
+	if filled == 0 {
+		for i := range dst {
+			dst[i] = 0
 		}
-		out[i] = sum / span
+		return
 	}
-	return out
+	span := window * float64(filled)
+	for i := range ring {
+		sum := 0.0
+		for s := 0; s < filled; s++ {
+			sum += ring[i][s]
+		}
+		dst[i] = sum / span
+	}
 }

@@ -31,6 +31,160 @@ type PacketizedConfig struct {
 	NewScheduler func(classes int, src *rng.Source) sched.Scheduler
 }
 
+// Packetized event kinds (pkRunner.HandleEvent payloads: data = class for
+// pkArrival, unused otherwise).
+const (
+	pkArrival int32 = iota
+	pkDone
+	pkRealloc
+)
+
+// pkClassMetrics aggregates one class's measurements in packetized mode.
+type pkClassMetrics struct {
+	slow    stats.Welford
+	delay   stats.Welford
+	svc     stats.Welford
+	windows *stats.WindowSeries
+}
+
+// pkRunner wires the packetized model for one replication. Like runner,
+// it is the single des.Handler, so event scheduling itself allocates
+// nothing and sched.Job objects are recycled through a free list. The
+// residual ~0.05 allocs/event in BENCH_psd.json comes from the
+// scheduler's own internals (SCFQ's container/heap boxes an interface
+// per enqueue) — a future sched refactor, not an engine cost.
+type pkRunner struct {
+	cfg       Config
+	sim       *des.Simulator
+	scheduler sched.Scheduler
+	est       *estimator
+	workload  core.Workload
+	total     float64
+
+	metrics    []*pkClassMetrics
+	arrivalRng []*rng.Source
+	sizeRng    []*rng.Source
+	services   []distSampler
+
+	busy bool
+	// cur* describe the request occupying the processor; the single
+	// full-speed server serializes service, so no per-job state needs to
+	// outlive its completion event.
+	curClass   int
+	curSize    float64
+	curStart   float64
+	curArrival float64
+
+	jobPool []*sched.Job // recycled between Dequeue and Enqueue
+
+	allocClasses []core.Class
+	allocLambdas []float64
+	allocWeights []float64
+	// lastWeights is the most recent weight vector actually installed in
+	// the scheduler (floored), reported as Result.FinalRates.
+	lastWeights []float64
+
+	reallocOK   int
+	reallocFail int
+	records     []RequestRecord
+}
+
+func (p *pkRunner) HandleEvent(kind, data int32) {
+	switch kind {
+	case pkArrival:
+		p.onArrival(int(data))
+	case pkDone:
+		p.onDone()
+	case pkRealloc:
+		p.onRealloc()
+	}
+}
+
+func (p *pkRunner) scheduleArrival(i int) {
+	if p.cfg.Classes[i].Lambda <= 0 {
+		return
+	}
+	p.sim.Schedule(p.arrivalRng[i].ExpFloat64(p.cfg.Classes[i].Lambda), p, pkArrival, int32(i))
+}
+
+func (p *pkRunner) onArrival(i int) {
+	size := p.services[i].Sample(p.sizeRng[i])
+	p.est.observe(i, size)
+	var j *sched.Job
+	if n := len(p.jobPool); n > 0 {
+		j = p.jobPool[n-1]
+		p.jobPool = p.jobPool[:n-1]
+		*j = sched.Job{}
+	} else {
+		j = new(sched.Job)
+	}
+	j.Class, j.Size, j.Arrival = i, size, p.sim.Now()
+	p.scheduler.Enqueue(j)
+	if !p.busy {
+		p.dispatch()
+	}
+	p.scheduleArrival(i)
+}
+
+// dispatch pulls the scheduler's next choice onto the processor.
+func (p *pkRunner) dispatch() {
+	j := p.scheduler.Dequeue()
+	if j == nil {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	p.curClass, p.curSize, p.curStart, p.curArrival = j.Class, j.Size, p.sim.Now(), j.Arrival
+	p.jobPool = append(p.jobPool, j)
+	p.sim.Schedule(j.Size, p, pkDone, 0) // full-speed service
+}
+
+func (p *pkRunner) onDone() {
+	now := p.sim.Now()
+	if now >= p.cfg.Warmup {
+		delay := p.curStart - p.curArrival
+		slowdown := delay / p.curSize
+		m := p.metrics[p.curClass]
+		m.slow.Add(slowdown)
+		m.delay.Add(delay)
+		m.svc.Add(p.curSize)
+		m.windows.Observe(now-p.cfg.Warmup, slowdown)
+		if p.cfg.RecordRequests && now >= p.cfg.RecordFrom && now < p.cfg.RecordTo {
+			p.records = append(p.records, RequestRecord{
+				Class: p.curClass, Arrival: p.curArrival, ServiceStart: p.curStart,
+				Completion: now, Size: p.curSize, Slowdown: slowdown,
+			})
+		}
+	}
+	p.dispatch()
+}
+
+func (p *pkRunner) onRealloc() {
+	p.est.roll()
+	p.est.lambdasInto(p.allocLambdas, p.cfg.Window)
+	for i, cc := range p.cfg.Classes {
+		l := p.allocLambdas[i]
+		if p.cfg.Oracle {
+			l = cc.Lambda
+		}
+		p.allocClasses[i] = core.Class{Delta: cc.Delta, Lambda: l}
+	}
+	if alloc, err := p.cfg.Allocator.Allocate(p.allocClasses, p.workload); err == nil {
+		positiveFloorInto(p.allocWeights, alloc.Rates, p.cfg.MinRate)
+		if err := p.scheduler.SetWeights(p.allocWeights); err == nil {
+			copy(p.lastWeights, p.allocWeights)
+			p.reallocOK++
+		} else {
+			p.reallocFail++
+		}
+	} else {
+		p.reallocFail++
+	}
+	if p.sim.Now() < p.total {
+		p.sim.Schedule(p.cfg.Window, p, pkRealloc, 0)
+	}
+}
+
 // RunPacketized executes one packetized-server replication.
 func RunPacketized(pc PacketizedConfig) (*Result, error) {
 	cfg := pc.Config.ApplyDefaults()
@@ -55,39 +209,41 @@ func RunPacketized(pc PacketizedConfig) (*Result, error) {
 	}
 
 	src := rng.New(cfg.Seed)
-	scheduler := mk(len(cfg.Classes), src.Split(1000))
-
-	type classMetrics struct {
-		slow    stats.Welford
-		delay   stats.Welford
-		svc     stats.Welford
-		windows *stats.WindowSeries
+	nc := len(cfg.Classes)
+	p := &pkRunner{
+		cfg:          cfg,
+		sim:          des.New(),
+		scheduler:    mk(nc, src.Split(1000)),
+		est:          newEstimator(nc, cfg.HistoryWindows),
+		workload:     w,
+		total:        cfg.Warmup + cfg.Horizon,
+		metrics:      make([]*pkClassMetrics, nc),
+		arrivalRng:   make([]*rng.Source, nc),
+		sizeRng:      make([]*rng.Source, nc),
+		services:     make([]distSampler, nc),
+		allocClasses: make([]core.Class, nc),
+		allocLambdas: make([]float64, nc),
+		allocWeights: make([]float64, nc),
+		lastWeights:  make([]float64, nc),
 	}
-	sim := des.New()
-	total := cfg.Warmup + cfg.Horizon
-	est := newEstimator(len(cfg.Classes), cfg.HistoryWindows)
-	metrics := make([]*classMetrics, len(cfg.Classes))
-	arrivalRng := make([]*rng.Source, len(cfg.Classes))
-	sizeRng := make([]*rng.Source, len(cfg.Classes))
-	services := make([]distSampler, len(cfg.Classes))
 	for i, cc := range cfg.Classes {
 		ws, err := stats.NewWindowSeries(cfg.Window)
 		if err != nil {
 			return nil, err
 		}
-		metrics[i] = &classMetrics{windows: ws}
-		arrivalRng[i] = src.Split(uint64(2*i + 1))
-		sizeRng[i] = src.Split(uint64(2*i + 2))
+		p.metrics[i] = &pkClassMetrics{windows: ws}
+		p.arrivalRng[i] = src.Split(uint64(2*i + 1))
+		p.sizeRng[i] = src.Split(uint64(2*i + 2))
 		svc := cc.Service
 		if svc == nil {
 			svc = cfg.Service
 		}
-		services[i] = svc
+		p.services[i] = svc
 	}
 
 	// Initial weights from declared rates (fall back to even split).
-	weights := make([]float64, len(cfg.Classes))
-	trueClasses := make([]core.Class, len(cfg.Classes))
+	weights := make([]float64, nc)
+	trueClasses := make([]core.Class, nc)
 	for i, cc := range cfg.Classes {
 		trueClasses[i] = core.Class{Delta: cc.Delta, Lambda: cc.Lambda}
 	}
@@ -95,123 +251,35 @@ func RunPacketized(pc PacketizedConfig) (*Result, error) {
 		copy(weights, alloc.Rates)
 	} else {
 		for i := range weights {
-			weights[i] = 1 / float64(len(weights))
+			weights[i] = 1 / float64(nc)
 		}
 	}
-	if err := scheduler.SetWeights(positiveFloor(weights, cfg.MinRate)); err != nil {
+	positiveFloorInto(p.allocWeights, weights, cfg.MinRate)
+	if err := p.scheduler.SetWeights(p.allocWeights); err != nil {
 		return nil, err
 	}
+	copy(p.lastWeights, p.allocWeights)
 
-	var (
-		busy        bool
-		reallocOK   int
-		reallocFail int
-		records     []RequestRecord
-	)
-
-	type pkJob struct {
-		arrival float64
-	}
-	var dispatch func()
-	dispatch = func() {
-		j := scheduler.Dequeue()
-		if j == nil {
-			busy = false
-			return
-		}
-		busy = true
-		start := sim.Now()
-		arrival := j.Payload.(pkJob).arrival
-		class := j.Class
-		size := j.Size
-		sim.Schedule(size, func() { // full-speed service
-			now := sim.Now()
-			if now >= cfg.Warmup {
-				delay := start - arrival
-				slowdown := delay / size
-				m := metrics[class]
-				m.slow.Add(slowdown)
-				m.delay.Add(delay)
-				m.svc.Add(size)
-				m.windows.Observe(now-cfg.Warmup, slowdown)
-				if cfg.RecordRequests && now >= cfg.RecordFrom && now < cfg.RecordTo {
-					records = append(records, RequestRecord{
-						Class: class, Arrival: arrival, ServiceStart: start,
-						Completion: now, Size: size, Slowdown: slowdown,
-					})
-				}
-			}
-			dispatch()
-		})
-	}
-
-	var scheduleArrival func(i int)
-	scheduleArrival = func(i int) {
-		cc := cfg.Classes[i]
-		if cc.Lambda <= 0 {
-			return
-		}
-		sim.Schedule(arrivalRng[i].ExpFloat64(cc.Lambda), func() {
-			size := services[i].Sample(sizeRng[i])
-			est.observe(i, size)
-			scheduler.Enqueue(&sched.Job{
-				Class: i, Size: size, Arrival: sim.Now(),
-				Payload: pkJob{arrival: sim.Now()},
-			})
-			if !busy {
-				dispatch()
-			}
-			scheduleArrival(i)
-		})
-	}
 	for i := range cfg.Classes {
-		scheduleArrival(i)
+		p.scheduleArrival(i)
 	}
+	p.sim.Schedule(cfg.Window, p, pkRealloc, 0)
 
-	var scheduleRealloc func()
-	scheduleRealloc = func() {
-		sim.Schedule(cfg.Window, func() {
-			est.roll()
-			lambdas := est.lambdas(cfg.Window)
-			classes := make([]core.Class, len(cfg.Classes))
-			for i, cc := range cfg.Classes {
-				l := lambdas[i]
-				if cfg.Oracle {
-					l = cc.Lambda
-				}
-				classes[i] = core.Class{Delta: cc.Delta, Lambda: l}
-			}
-			if alloc, err := cfg.Allocator.Allocate(classes, w); err == nil {
-				if err := scheduler.SetWeights(positiveFloor(alloc.Rates, cfg.MinRate)); err == nil {
-					reallocOK++
-				} else {
-					reallocFail++
-				}
-			} else {
-				reallocFail++
-			}
-			if sim.Now() < total {
-				scheduleRealloc()
-			}
-		})
-	}
-	scheduleRealloc()
-
-	sim.RunUntil(total)
+	p.sim.RunUntil(p.total)
 
 	// Assemble the Result in the same shape as the fluid mode.
 	res := &Result{
-		Classes:           make([]ClassStats, len(cfg.Classes)),
-		ExpectedSlowdowns: make([]float64, len(cfg.Classes)),
-		FinalRates:        weights,
-		Reallocations:     reallocOK,
-		AllocFailures:     reallocFail,
-		EventsProcessed:   sim.Processed(),
-		Records:           records,
+		Classes:           make([]ClassStats, nc),
+		ExpectedSlowdowns: make([]float64, nc),
+		FinalRates:        p.lastWeights,
+		Reallocations:     p.reallocOK,
+		AllocFailures:     p.reallocFail,
+		EventsProcessed:   p.sim.Processed(),
+		Records:           p.records,
 	}
 	numWindows := int(math.Ceil(cfg.Horizon / cfg.Window))
 	var sysSlow, sysCount float64
-	for i, m := range metrics {
+	for i, m := range p.metrics {
 		st := &res.Classes[i]
 		st.Count = m.slow.N()
 		st.MeanSlowdown = m.slow.Mean()
@@ -237,7 +305,6 @@ func RunPacketized(pc PacketizedConfig) (*Result, error) {
 	}
 	if alloc, err := cfg.Allocator.Allocate(trueClasses, w); err == nil {
 		copy(res.ExpectedSlowdowns, alloc.ExpectedSlowdowns)
-		copy(res.FinalRates, alloc.Rates)
 	} else {
 		for i := range res.ExpectedSlowdowns {
 			res.ExpectedSlowdowns[i] = math.NaN()
@@ -251,19 +318,17 @@ type distSampler interface {
 	Sample(*rng.Source) float64
 }
 
-// positiveFloor clamps weights at a positive minimum (schedulers reject
-// non-positive weights; an idle class's zero rate becomes a negligible
-// share).
-func positiveFloor(ws []float64, floor float64) []float64 {
+// positiveFloorInto clamps weights at a positive minimum into dst
+// (schedulers reject non-positive weights; an idle class's zero rate
+// becomes a negligible share).
+func positiveFloorInto(dst, ws []float64, floor float64) {
 	if floor <= 0 {
 		floor = 1e-6
 	}
-	out := make([]float64, len(ws))
 	for i, w := range ws {
 		if w < floor {
 			w = floor
 		}
-		out[i] = w
+		dst[i] = w
 	}
-	return out
 }

@@ -31,6 +31,9 @@ type Aggregate struct {
 	MeanRatios []float64
 	// AllocFailures totals allocator fallbacks across runs.
 	AllocFailures int
+	// EventsProcessed totals DES events across runs (for throughput
+	// accounting — see cmd/psdbench).
+	EventsProcessed uint64
 }
 
 // RunReplications executes n independent replications of cfg (seeds
@@ -107,6 +110,7 @@ func aggregate(cfg Config, results []*Result) (*Aggregate, error) {
 		}
 		system.Add(res.SystemSlowdown)
 		agg.AllocFailures += res.AllocFailures
+		agg.EventsProcessed += res.EventsProcessed
 	}
 	for i := 0; i < nc; i++ {
 		agg.MeanSlowdowns[i] = perClass[i].Mean()

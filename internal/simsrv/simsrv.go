@@ -241,7 +241,8 @@ func (r *Result) WindowRatio(i, j int) []float64 {
 	return out
 }
 
-// request is a job flowing through the model.
+// request is a job flowing through the model. Requests are plain values:
+// they live in the per-class ring queues and never touch the GC heap.
 type request struct {
 	class        int
 	size         float64
@@ -249,23 +250,64 @@ type request struct {
 	serviceStart float64
 }
 
+// reqQueue is a growable power-of-two ring buffer of request values.
+// Steady-state push/pop never allocates; the buffer only grows while a
+// queue reaches a new high-water mark.
+type reqQueue struct {
+	buf  []request
+	head int
+	n    int
+}
+
+func (q *reqQueue) len() int { return q.n }
+
+func (q *reqQueue) push(r request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = r
+	q.n++
+}
+
+func (q *reqQueue) pop() request {
+	r := q.buf[q.head]
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return r
+}
+
+func (q *reqQueue) grow() {
+	newCap := 8
+	if len(q.buf) > 0 {
+		newCap = len(q.buf) * 2
+	}
+	nb := make([]request, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
 // classState is one task server plus its queue, generator streams and
 // metrics.
 type classState struct {
+	idx     int32 // own index, the des event payload for this class
 	cfg     ClassConfig
 	service dist.Distribution
 
 	arrivalRng *rng.Source
 	sizeRng    *rng.Source
 
-	queue   []*request
-	current *request
+	queue   reqQueue
+	current request
+	busy    bool
 
 	rate       float64 // nominal allocated rate
 	effRate    float64 // effective rate (= rate unless work-conserving)
 	remaining  float64 // unfinished work of current
 	lastSync   float64 // sim time when remaining was last updated
-	completion *des.Event
+	completion des.EventID
 
 	slow    stats.Welford
 	delay   stats.Welford
@@ -279,9 +321,19 @@ type classState struct {
 	rejected int64
 }
 
-func (cs *classState) busy() bool { return cs.current != nil }
+// Typed event kinds dispatched through runner.HandleEvent. The data
+// payload is the class index (evArrival, evCompletion) or the trace
+// index (evTraceArrival).
+const (
+	evArrival int32 = iota
+	evCompletion
+	evRealloc
+	evTraceArrival
+)
 
-// runner wires the model together for one replication.
+// runner wires the model together for one replication. It is the single
+// des.Handler for all event kinds, so scheduling an event costs no
+// allocation (the old design captured one closure per event).
 type runner struct {
 	cfg      Config
 	sim      *des.Simulator
@@ -290,10 +342,37 @@ type runner struct {
 	est      *estimator
 	ctrl     *control.RatioController // nil unless cfg.Feedback
 	total    float64                  // warmup + horizon
+	trace    []TraceRequest           // non-nil only in RunTrace mode
+
+	// Reallocation scratch, reused every window tick.
+	allocDeltas   []float64
+	allocMeasured []float64
+	allocLambdas  []float64
+	allocLoads    []float64
+	allocClasses  []core.Class
 
 	reallocOK   int
 	reallocFail int
 	records     []RequestRecord
+}
+
+// HandleEvent dispatches one fired event. It preserves the exact
+// schedule-call ordering of the closure-based engine so that seeded
+// replications reproduce bit-for-bit across the refactor (see
+// TestGoldenDeterminism).
+func (r *runner) HandleEvent(kind, data int32) {
+	switch kind {
+	case evArrival:
+		r.onArrival(int(data))
+	case evCompletion:
+		cs := r.classes[data]
+		cs.completion = des.None
+		r.finishService(cs)
+	case evRealloc:
+		r.onRealloc()
+	case evTraceArrival:
+		r.onTraceArrival(int(data))
+	}
 }
 
 // coreWorkload extracts the allocator-facing moments from the config.
@@ -322,6 +401,7 @@ func newRunner(cfg Config, w core.Workload) (*runner, error) {
 			return nil, err
 		}
 		r.classes[i] = &classState{
+			idx:        int32(i),
 			cfg:        cc,
 			service:    svc,
 			arrivalRng: src.Split(uint64(2*i + 1)),
@@ -329,7 +409,13 @@ func newRunner(cfg Config, w core.Workload) (*runner, error) {
 			windows:    ws,
 		}
 	}
-	r.est = newEstimator(len(cfg.Classes), cfg.HistoryWindows)
+	nc := len(cfg.Classes)
+	r.allocDeltas = make([]float64, nc)
+	r.allocMeasured = make([]float64, nc)
+	r.allocLambdas = make([]float64, nc)
+	r.allocLoads = make([]float64, nc)
+	r.allocClasses = make([]core.Class, nc)
+	r.est = newEstimator(nc, cfg.HistoryWindows)
 	if cfg.Feedback {
 		deltas := make([]float64, len(cfg.Classes))
 		for i, cc := range cfg.Classes {
@@ -405,42 +491,39 @@ func (r *runner) scheduleNextArrival(i int) {
 		return
 	}
 	delay := cs.arrivalRng.ExpFloat64(cs.cfg.Lambda)
-	r.sim.Schedule(delay, func() {
-		now := r.sim.Now()
-		size := cs.service.Sample(cs.sizeRng)
-		if r.cfg.Admission != nil && !r.cfg.Admission.Admit(i, size, now) {
-			cs.rejected++
-			r.scheduleNextArrival(i)
-			return
-		}
-		req := &request{class: i, size: size, arrival: now}
-		r.est.observe(i, size)
-		cs.queue = append(cs.queue, req)
-		if !cs.busy() {
-			r.startService(cs)
-			if r.cfg.WorkConserving {
-				r.recomputeEffectiveRates()
-			}
-		}
+	r.sim.Schedule(delay, r, evArrival, cs.idx)
+}
+
+// onArrival handles one Poisson arrival for class i: sample a size, pass
+// the admission gate, enqueue, possibly start service, and schedule the
+// next arrival of the class.
+func (r *runner) onArrival(i int) {
+	cs := r.classes[i]
+	now := r.sim.Now()
+	size := cs.service.Sample(cs.sizeRng)
+	if r.cfg.Admission != nil && !r.cfg.Admission.Admit(i, size, now) {
+		cs.rejected++
 		r.scheduleNextArrival(i)
-	})
+		return
+	}
+	r.est.observe(i, size)
+	cs.queue.push(request{class: i, size: size, arrival: now})
+	if !cs.busy {
+		r.startService(cs)
+		if r.cfg.WorkConserving {
+			r.recomputeEffectiveRates()
+		}
+	}
+	r.scheduleNextArrival(i)
 }
 
 // startService moves the head-of-line request into service. Callers must
 // ensure the class is idle and the queue non-empty.
-func (cs *classState) popHead() *request {
-	req := cs.queue[0]
-	// Shift-free pop: reslice; append re-uses capacity. For the queue
-	// lengths seen here (tens) this is simpler and fast enough, and it
-	// avoids a ring buffer's index bookkeeping.
-	cs.queue = cs.queue[1:]
-	return req
-}
-
 func (r *runner) startService(cs *classState) {
-	req := cs.popHead()
+	req := cs.queue.pop()
 	req.serviceStart = r.sim.Now()
 	cs.current = req
+	cs.busy = true
 	cs.remaining = req.size
 	cs.lastSync = r.sim.Now()
 	r.scheduleCompletion(cs)
@@ -448,7 +531,7 @@ func (r *runner) startService(cs *classState) {
 
 // syncRemaining folds elapsed service into the remaining-work counter.
 func (r *runner) syncRemaining(cs *classState) {
-	if !cs.busy() {
+	if !cs.busy {
 		return
 	}
 	elapsed := r.sim.Now() - cs.lastSync
@@ -464,11 +547,11 @@ func (r *runner) syncRemaining(cs *classState) {
 // scheduleCompletion (re)schedules the in-service request's completion
 // from the current remaining work and effective rate.
 func (r *runner) scheduleCompletion(cs *classState) {
-	if cs.completion != nil {
+	if cs.completion != des.None {
 		r.sim.Cancel(cs.completion)
-		cs.completion = nil
+		cs.completion = des.None
 	}
-	if !cs.busy() {
+	if !cs.busy {
 		return
 	}
 	if cs.effRate <= 0 {
@@ -476,16 +559,13 @@ func (r *runner) scheduleCompletion(cs *classState) {
 		return
 	}
 	dt := cs.remaining / cs.effRate
-	cs.completion = r.sim.Schedule(dt, func() {
-		cs.completion = nil
-		r.finishService(cs)
-	})
+	cs.completion = r.sim.Schedule(dt, r, evCompletion, cs.idx)
 }
 
 func (r *runner) finishService(cs *classState) {
 	now := r.sim.Now()
 	req := cs.current
-	cs.current = nil
+	cs.busy = false
 	cs.remaining = 0
 
 	serviceDuration := now - req.serviceStart
@@ -509,7 +589,7 @@ func (r *runner) finishService(cs *classState) {
 		}
 	}
 
-	if len(cs.queue) > 0 {
+	if cs.queue.len() > 0 {
 		r.startService(cs)
 	} else if r.cfg.WorkConserving {
 		r.recomputeEffectiveRates()
@@ -522,7 +602,7 @@ func (r *runner) applyRates(rates []float64) {
 	for i, cs := range r.classes {
 		r.syncRemaining(cs)
 		rate := rates[i]
-		if rate < r.cfg.MinRate && (cs.busy() || len(cs.queue) > 0) {
+		if rate < r.cfg.MinRate && (cs.busy || cs.queue.len() > 0) {
 			rate = r.cfg.MinRate
 		}
 		cs.rate = rate
@@ -548,7 +628,7 @@ func (r *runner) recomputeEffectiveRates() {
 	busyRate := 0.0
 	numBusy := 0
 	for _, cs := range r.classes {
-		if cs.busy() {
+		if cs.busy {
 			busyRate += cs.rate
 			numBusy++
 		}
@@ -556,7 +636,7 @@ func (r *runner) recomputeEffectiveRates() {
 	for _, cs := range r.classes {
 		r.syncRemaining(cs)
 		switch {
-		case !cs.busy():
+		case !cs.busy:
 			cs.effRate = cs.rate
 		case busyRate > 0:
 			cs.effRate = cs.rate / busyRate
@@ -569,54 +649,62 @@ func (r *runner) recomputeEffectiveRates() {
 
 // scheduleReallocation ticks the estimator and allocator every Window.
 func (r *runner) scheduleReallocation() {
-	r.sim.Schedule(r.cfg.Window, func() {
-		r.est.roll()
-		deltas := make([]float64, len(r.classes))
+	r.sim.Schedule(r.cfg.Window, r, evRealloc, 0)
+}
+
+// onRealloc closes the estimation window, consults the allocator and
+// installs the new rates. All slices are preallocated scratch — a window
+// tick performs no steady-state allocation beyond the allocator's own
+// result vector.
+func (r *runner) onRealloc() {
+	r.est.roll()
+	deltas := r.allocDeltas
+	for i, cs := range r.classes {
+		deltas[i] = cs.cfg.Delta
+	}
+	if r.ctrl != nil {
+		// Feed the controller this window's measured slowdowns and
+		// let it trim the effective deltas.
+		measured := r.allocMeasured
 		for i, cs := range r.classes {
-			deltas[i] = cs.cfg.Delta
-		}
-		if r.ctrl != nil {
-			// Feed the controller this window's measured slowdowns and
-			// let it trim the effective deltas.
-			measured := make([]float64, len(r.classes))
-			for i, cs := range r.classes {
-				if cs.winSlow.N() > 0 {
-					measured[i] = cs.winSlow.Mean()
-				} else {
-					measured[i] = math.NaN()
-				}
-				cs.winSlow = stats.Welford{}
+			if cs.winSlow.N() > 0 {
+				measured[i] = cs.winSlow.Mean()
+			} else {
+				measured[i] = math.NaN()
 			}
-			_ = r.ctrl.Update(measured)
-			copy(deltas, r.ctrl.Deltas())
+			cs.winSlow = stats.Welford{}
 		}
-		classes := make([]core.Class, len(r.classes))
-		lambdas := r.est.lambdas(r.cfg.Window)
-		if r.cfg.EstimateFromWork {
-			loads := r.est.loads(r.cfg.Window)
-			for i := range lambdas {
-				lambdas[i] = loads[i] / r.workload.MeanSize
-			}
+		_ = r.ctrl.Update(measured)
+		copy(deltas, r.ctrl.Deltas())
+	}
+	classes := r.allocClasses
+	lambdas := r.allocLambdas
+	r.est.lambdasInto(lambdas, r.cfg.Window)
+	if r.cfg.EstimateFromWork {
+		loads := r.allocLoads
+		r.est.loadsInto(loads, r.cfg.Window)
+		for i := range lambdas {
+			lambdas[i] = loads[i] / r.workload.MeanSize
 		}
-		for i, cs := range r.classes {
-			l := lambdas[i]
-			if r.cfg.Oracle {
-				l = cs.cfg.Lambda
-			}
-			classes[i] = core.Class{Delta: deltas[i], Lambda: l}
+	}
+	for i, cs := range r.classes {
+		l := lambdas[i]
+		if r.cfg.Oracle {
+			l = cs.cfg.Lambda
 		}
-		if alloc, err := r.cfg.Allocator.Allocate(classes, r.allocWorkload()); err == nil {
-			r.applyRates(alloc.Rates)
-			r.reallocOK++
-		} else {
-			// Transient estimate infeasibility (ρ̂ ≥ 1 at very high
-			// loads): retain the previous rates for this window.
-			r.reallocFail++
-		}
-		if r.sim.Now() < r.total {
-			r.scheduleReallocation()
-		}
-	})
+		classes[i] = core.Class{Delta: deltas[i], Lambda: l}
+	}
+	if alloc, err := r.cfg.Allocator.Allocate(classes, r.allocWorkload()); err == nil {
+		r.applyRates(alloc.Rates)
+		r.reallocOK++
+	} else {
+		// Transient estimate infeasibility (ρ̂ ≥ 1 at very high
+		// loads): retain the previous rates for this window.
+		r.reallocFail++
+	}
+	if r.sim.Now() < r.total {
+		r.scheduleReallocation()
+	}
 }
 
 // collect assembles the Result.

@@ -424,18 +424,22 @@ func TestHighLoadStability(t *testing.T) {
 
 func TestEstimator(t *testing.T) {
 	e := newEstimator(2, 3)
-	if got := e.lambdas(100); got[0] != 0 || got[1] != 0 {
+	got := make([]float64, 2)
+	e.lambdasInto(got, 100)
+	if got[0] != 0 || got[1] != 0 {
 		t.Fatalf("empty estimator lambdas = %v", got)
 	}
 	e.observe(0, 2.0)
 	e.observe(0, 3.0)
 	e.observe(1, 1.0)
 	e.roll()
-	l := e.lambdas(100)
+	l := make([]float64, 2)
+	e.lambdasInto(l, 100)
 	if relErr(l[0], 0.02) > 1e-12 || relErr(l[1], 0.01) > 1e-12 {
 		t.Fatalf("lambdas after 1 window = %v", l)
 	}
-	loads := e.loads(100)
+	loads := make([]float64, 2)
+	e.loadsInto(loads, 100)
 	if relErr(loads[0], 0.05) > 1e-12 {
 		t.Fatalf("loads = %v", loads)
 	}
@@ -444,7 +448,7 @@ func TestEstimator(t *testing.T) {
 		e.observe(0, 1.0) // one arrival per window
 		e.roll()
 	}
-	l = e.lambdas(100)
+	e.lambdasInto(l, 100)
 	if relErr(l[0], 1.0/100) > 1e-12 {
 		t.Fatalf("ring lambdas = %v, want 0.01", l)
 	}

@@ -2,6 +2,7 @@ package simsrv
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -31,6 +32,9 @@ func RunTrace(cfg Config, trace []TraceRequest) (*Result, error) {
 	if len(trace) == 0 {
 		return nil, fmt.Errorf("simsrv: empty trace")
 	}
+	if len(trace) > math.MaxInt32 {
+		return nil, fmt.Errorf("simsrv: trace too long (%d entries)", len(trace))
+	}
 	if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].Time < trace[j].Time }) {
 		return nil, fmt.Errorf("simsrv: trace not time-sorted")
 	}
@@ -55,29 +59,35 @@ func RunTrace(cfg Config, trace []TraceRequest) (*Result, error) {
 		return nil, err
 	}
 
-	// Chain trace arrivals one at a time to keep the event heap small.
-	var scheduleTrace func(idx int)
-	scheduleTrace = func(idx int) {
-		if idx >= len(trace) || trace[idx].Time > r.total {
-			return
-		}
-		tr := trace[idx]
-		r.sim.ScheduleAt(tr.Time, func() {
-			cs := r.classes[tr.Class]
-			req := &request{class: tr.Class, size: tr.Size, arrival: tr.Time}
-			r.est.observe(tr.Class, tr.Size)
-			cs.queue = append(cs.queue, req)
-			if !cs.busy() {
-				r.startService(cs)
-				if r.cfg.WorkConserving {
-					r.recomputeEffectiveRates()
-				}
-			}
-			scheduleTrace(idx + 1)
-		})
-	}
-	scheduleTrace(0)
+	r.trace = trace
+	r.scheduleTrace(0)
 	r.scheduleReallocation()
 	r.sim.RunUntil(r.total)
 	return r.collect(), nil
+}
+
+// scheduleTrace chains trace arrivals one at a time (each fired arrival
+// schedules the next) to keep the event heap small regardless of trace
+// length.
+func (r *runner) scheduleTrace(idx int) {
+	if idx >= len(r.trace) || r.trace[idx].Time > r.total {
+		return
+	}
+	r.sim.ScheduleAt(r.trace[idx].Time, r, evTraceArrival, int32(idx))
+}
+
+// onTraceArrival injects trace entry idx into its class queue and chains
+// the next entry.
+func (r *runner) onTraceArrival(idx int) {
+	tr := r.trace[idx]
+	cs := r.classes[tr.Class]
+	r.est.observe(tr.Class, tr.Size)
+	cs.queue.push(request{class: tr.Class, size: tr.Size, arrival: tr.Time})
+	if !cs.busy {
+		r.startService(cs)
+		if r.cfg.WorkConserving {
+			r.recomputeEffectiveRates()
+		}
+	}
+	r.scheduleTrace(idx + 1)
 }
