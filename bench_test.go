@@ -320,40 +320,69 @@ func BenchmarkAblationPacketized(b *testing.B) {
 
 // BenchmarkReplication is the repo's end-to-end performance benchmark:
 // one full paper-fidelity replication (10,000 tu warmup + 60,000 tu
-// measured, §4.1) per iteration, over the standard 2-class and 5-class
-// workloads. It reports the three numbers the perf baseline tracks:
+// measured, §4.1) per iteration through a reusable Simulator arena, over
+// the standard 2-class and 5-class partitioned workloads AND the
+// packetized SCFQ server. It reports the numbers the perf baseline
+// tracks:
 //
 //	events/s      DES events executed per wall-clock second
 //	ns/event      inverse of the above
-//	allocs/event  heap allocations per event (≈ 0 in steady state —
-//	              only the per-replication setup allocates)
+//	allocs/event  heap allocations per event
+//	allocs/rep    heap allocations per steady-state replication
+//
+// Two hard gates back the metrics (both models):
+//
+//   - allocs/event < 0.01 — the pre-PR2 engine sat at ~2.7, the
+//     packetized path at 0.053 until its allocator bisection went
+//     in-place; 0.01 is far above measurement noise and far below any
+//     closure/boxing regression sneaking back into the hot path.
+//   - allocs/replication < 10 — the arena contract. Fresh construction
+//     costs ~100 allocations; a Reset+RunInto cycle on a warm arena
+//     costs ~0, so double digits mean some buffer stopped being reused.
 //
 // cmd/psdbench runs the same scenarios and emits BENCH_psd.json; CI runs
-// this benchmark with -benchtime 1x as an allocation smoke test.
+// this benchmark with -benchtime 1x as an allocation smoke test and
+// psdbench -compare as the throughput gate.
 func BenchmarkReplication(b *testing.B) {
 	cases := []struct {
-		name   string
-		deltas []float64
-		load   float64
+		name       string
+		deltas     []float64
+		load       float64
+		packetized bool
 	}{
-		{"2class", []float64{1, 4}, 0.6},
-		{"5class", []float64{1, 2, 4, 8, 16}, 0.8},
+		{"2class", []float64{1, 4}, 0.6, false},
+		{"5class", []float64{1, 2, 4, 8, 16}, 0.8, false},
+		{"2class-packetized", []float64{1, 4}, 0.6, true},
 	}
 	for _, tc := range cases {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
 			cfg := simsrv.EqualLoadConfig(tc.deltas, tc.load, nil)
+			var sim simsrv.Simulator
+			var res simsrv.Result
+			run := func(seed uint64) {
+				b.Helper()
+				var err error
+				if tc.packetized {
+					err = sim.ResetPacketized(simsrv.PacketizedConfig{Config: cfg}, seed)
+				} else {
+					err = sim.Reset(cfg, seed)
+				}
+				if err == nil {
+					err = sim.RunInto(&res)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			run(0) // untimed arena warmup to the scenario's high-water mark
 			var ms0, ms1 runtime.MemStats
 			runtime.GC()
 			runtime.ReadMemStats(&ms0)
 			var events uint64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cfg.Seed = uint64(i + 1)
-				res, err := simsrv.Run(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
+				run(uint64(i + 1))
 				events += res.EventsProcessed
 			}
 			b.StopTimer()
@@ -361,20 +390,56 @@ func BenchmarkReplication(b *testing.B) {
 			secs := b.Elapsed().Seconds()
 			if secs > 0 && events > 0 {
 				allocsPerEvent := float64(ms1.Mallocs-ms0.Mallocs) / float64(events)
+				allocsPerRep := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
 				b.ReportMetric(float64(events)/secs, "events/s")
 				b.ReportMetric(secs*1e9/float64(events), "ns/event")
 				b.ReportMetric(allocsPerEvent, "allocs/event")
-				// Hard gate, not just a metric: the engine's contract is
-				// ~zero steady-state allocations (only per-replication
-				// setup allocates, ~100 allocs against ~475k events). The
-				// pre-refactor engine sat at ~2.7 allocs/event; 0.01 is
-				// far above measurement noise and far below any closure
-				// or boxing regression sneaking back into the hot path.
+				b.ReportMetric(allocsPerRep, "allocs/rep")
 				if allocsPerEvent > 0.01 {
 					b.Fatalf("hot path regressed into allocation: %.4f allocs/event (want < 0.01)", allocsPerEvent)
 				}
+				if allocsPerRep >= 10 {
+					b.Fatalf("arena reuse regressed: %.1f allocs/replication (want < 10)", allocsPerRep)
+				}
 			}
 		})
+	}
+}
+
+// BenchmarkFigureSweep measures full-figure generation through the sweep
+// engine: one reduced-fidelity Figure 2 (5-load sweep × 10 replications)
+// per iteration, reporting replications/sec and allocs/replication — the
+// two numbers the reusable-arena engine exists to improve (per-core
+// events/s is unchanged by it; setup and aggregation costs are what
+// disappear). cmd/psdbench's figure2-sweep scenario tracks the same grid
+// in the committed baseline.
+func BenchmarkFigureSweep(b *testing.B) {
+	opts := figures.Options{
+		Runs:    10,
+		Horizon: 15000,
+		Warmup:  2000,
+		Seed:    1,
+		Loads:   []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+	}
+	repsPerFigure := len(opts.Loads) * opts.Runs
+	if _, err := figures.Figure2(opts); err != nil { // untimed warmup
+		b.Fatal(err)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Figure2(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	reps := b.N * repsPerFigure
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(reps)/secs, "reps/s")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(reps), "allocs/rep")
 	}
 }
 

@@ -3,15 +3,30 @@
 // baseline is the repo's performance trajectory: regenerate it after any
 // engine change and compare events_per_sec against the previous commit.
 //
-// Each scenario runs full paper-fidelity replications (10,000 tu warmup +
-// 60,000 tu measured, §4.1) single-threaded, so events_per_sec is a
-// per-core number directly comparable to BenchmarkReplication.
+// Each simulation scenario runs full paper-fidelity replications
+// (10,000 tu warmup + 60,000 tu measured, §4.1) single-threaded through
+// one reusable Simulator arena, so events_per_sec is a per-core number
+// directly comparable to BenchmarkReplication. The figure-sweep scenario
+// instead drives the internal/sweep engine over a reduced-fidelity
+// Figure 2 grid and reports replications/sec and allocs/replication —
+// the numbers the arena engine exists to improve.
 //
 // Usage:
 //
 //	psdbench                     # writes BENCH_psd.json in the cwd
 //	psdbench -runs 16 -o out.json
 //	psdbench -o -                # print JSON to stdout
+//	psdbench -compare BENCH_psd.json            # regression gate (CI)
+//	psdbench -compare BENCH_psd.json -compare-tolerance 0.30
+//
+// In -compare mode the tool exits non-zero when any scenario's
+// events_per_sec (or replications/sec) falls more than the tolerance
+// below the baseline, or when any absolute allocation gate is breached:
+// event-driven scenarios must stay under 0.01 allocs/event and the
+// figure sweep under 25 allocs/replication. The allocation gates are
+// machine-independent; the throughput comparison is only meaningful
+// against a baseline from comparable hardware, so CI pairs a generous
+// tolerance with the exact allocation gates.
 package main
 
 import (
@@ -23,6 +38,13 @@ import (
 	"time"
 
 	"psd/internal/simsrv"
+	"psd/internal/sweep"
+)
+
+// Allocation gates enforced in -compare mode (and reported always).
+const (
+	allocsPerEventGate = 0.01
+	allocsPerRepGate   = 25.0
 )
 
 type scenarioResult struct {
@@ -38,6 +60,10 @@ type scenarioResult struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// Figure-sweep metrics (zero for event-driven scenarios).
+	Replications int     `json:"replications,omitempty"`
+	RepsPerSec   float64 `json:"reps_per_sec,omitempty"`
+	AllocsPerRep float64 `json:"allocs_per_rep,omitempty"`
 }
 
 type report struct {
@@ -50,10 +76,23 @@ type report struct {
 }
 
 type scenario struct {
-	name       string
-	deltas     []float64
-	load       float64
-	packetized bool
+	name        string
+	deltas      []float64
+	load        float64
+	packetized  bool
+	trace       bool
+	figureSweep bool
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{name: "2class-load0.6", deltas: []float64{1, 4}, load: 0.6},
+		{name: "5class-load0.8", deltas: []float64{1, 2, 4, 8, 16}, load: 0.8},
+		{name: "8class-load0.9", deltas: []float64{1, 2, 3, 4, 6, 8, 12, 16}, load: 0.9},
+		{name: "2class-load0.6-packetized", deltas: []float64{1, 4}, load: 0.6, packetized: true},
+		{name: "2class-load0.6-trace", deltas: []float64{1, 2}, load: 0.6, trace: true},
+		{name: "figure2-sweep", deltas: []float64{1, 2}, figureSweep: true},
+	}
 }
 
 func main() {
@@ -63,30 +102,52 @@ func main() {
 		warmup  = flag.Float64("warmup", 10000, "warmup duration (time units)")
 		horizon = flag.Float64("horizon", 60000, "measured duration (time units)")
 		seed    = flag.Uint64("seed", 1, "base random seed")
+		compare = flag.String("compare", "", "baseline JSON to compare against; failures exit non-zero")
+		tol     = flag.Float64("compare-tolerance", 0.15, "allowed fractional throughput regression in -compare mode")
 	)
 	flag.Parse()
-
-	scenarios := []scenario{
-		{name: "2class-load0.6", deltas: []float64{1, 4}, load: 0.6},
-		{name: "5class-load0.8", deltas: []float64{1, 2, 4, 8, 16}, load: 0.8},
-		{name: "2class-load0.6-packetized", deltas: []float64{1, 4}, load: 0.6, packetized: true},
-	}
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			outSet = true
+		}
+	})
 
 	rep := report{
-		Schema:      "psd-bench/v1",
+		Schema:      "psd-bench/v2",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 	}
-	for _, sc := range scenarios {
+	for _, sc := range scenarios() {
 		res, err := runScenario(sc, *runs, *warmup, *horizon, *seed)
 		if err != nil {
 			fatalf("%s: %v", sc.name, err)
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
-		fmt.Fprintf(os.Stderr, "%-28s %10d events  %8.3fs  %12.0f events/s  %6.1f ns/event  %.4f allocs/event\n",
-			res.Name, res.Events, res.WallSeconds, res.EventsPerSec, res.NsPerEvent, res.AllocsPerEvent)
+		if sc.figureSweep {
+			fmt.Fprintf(os.Stderr, "%-28s %10d events  %8.3fs  %12.0f events/s  %6.1f reps/s  %.2f allocs/rep\n",
+				res.Name, res.Events, res.WallSeconds, res.EventsPerSec, res.RepsPerSec, res.AllocsPerRep)
+		} else {
+			fmt.Fprintf(os.Stderr, "%-28s %10d events  %8.3fs  %12.0f events/s  %6.1f ns/event  %.4f allocs/event\n",
+				res.Name, res.Events, res.WallSeconds, res.EventsPerSec, res.NsPerEvent, res.AllocsPerEvent)
+		}
+	}
+
+	if *compare != "" {
+		failures := compareAgainst(*compare, rep, *tol)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "psdbench: FAIL %s\n", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "psdbench: all scenarios within %.0f%% of %s and under allocation gates\n",
+			*tol*100, *compare)
+		if !outSet {
+			return // compare-only run: leave the committed baseline alone
+		}
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -104,34 +165,129 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 }
 
+// compareAgainst checks the fresh report against a committed baseline:
+// per-scenario throughput regression beyond tol, plus the absolute
+// allocation gates (which apply even to scenarios absent from the
+// baseline — new scenarios must be born clean).
+func compareAgainst(path string, cur report, tol float64) []string {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("read baseline %s: %v", path, err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parse baseline %s: %v", path, err)
+	}
+	baseByName := make(map[string]scenarioResult, len(base.Scenarios))
+	for _, s := range base.Scenarios {
+		baseByName[s.Name] = s
+	}
+	var failures []string
+	// A baseline scenario that no longer runs is itself a failure:
+	// otherwise deleting or renaming a scenario silently disables its
+	// regression gate.
+	curNames := make(map[string]bool, len(cur.Scenarios))
+	for _, s := range cur.Scenarios {
+		curNames[s.Name] = true
+	}
+	for _, b := range base.Scenarios {
+		if !curNames[b.Name] {
+			failures = append(failures, fmt.Sprintf(
+				"%s: present in baseline %s but not measured by this binary (scenario removed or renamed; regenerate the baseline deliberately)",
+				b.Name, path))
+		}
+	}
+	for _, s := range cur.Scenarios {
+		if s.Model == "figure-sweep" {
+			if s.AllocsPerRep > allocsPerRepGate {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.2f allocs/replication breaches the %.0f gate", s.Name, s.AllocsPerRep, allocsPerRepGate))
+			}
+		} else if s.AllocsPerEvent > allocsPerEventGate {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.4f allocs/event breaches the %.2f gate", s.Name, s.AllocsPerEvent, allocsPerEventGate))
+		}
+		b, ok := baseByName[s.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "psdbench: note: %s not in baseline (new scenario, throughput unchecked)\n", s.Name)
+			continue
+		}
+		check := func(metric string, baseV, curV float64) {
+			if baseV <= 0 {
+				return
+			}
+			if reg := (baseV - curV) / baseV; reg > tol {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+					s.Name, metric, reg*100, baseV, curV, tol*100))
+			}
+		}
+		check("events/s", b.EventsPerSec, s.EventsPerSec)
+		if s.Model == "figure-sweep" {
+			check("reps/s", b.RepsPerSec, s.RepsPerSec)
+		}
+	}
+	return failures
+}
+
+// syntheticTrace builds the deterministic 2-class arrival trace used by
+// the trace scenario (same construction as the golden determinism test,
+// scaled to the bench horizon).
+func syntheticTrace(total float64) []simsrv.TraceRequest {
+	sz := []float64{0.2, 1.7, 0.4, 3.1, 0.9, 0.15, 6.0, 0.5}
+	var trace []simsrv.TraceRequest
+	tm := 0.0
+	for i := 0; tm < total; i++ {
+		tm += 0.35 + float64(i%7)*0.11
+		trace = append(trace, simsrv.TraceRequest{Time: tm, Class: i % 2, Size: sz[i%len(sz)]})
+	}
+	return trace
+}
+
 func runScenario(sc scenario, runs int, warmup, horizon float64, seed uint64) (scenarioResult, error) {
+	if sc.figureSweep {
+		return runFigureSweep(sc, runs, seed)
+	}
 	cfg := simsrv.EqualLoadConfig(sc.deltas, sc.load, nil)
 	cfg.Warmup = warmup
 	cfg.Horizon = horizon
 
 	model := "partitioned"
-	if sc.packetized {
+	switch {
+	case sc.packetized:
 		model = "packetized-scfq"
+	case sc.trace:
+		model = "trace"
 	}
+	var trace []simsrv.TraceRequest
+	if sc.trace {
+		trace = syntheticTrace(warmup + horizon)
+	}
+
+	var sim simsrv.Simulator
+	var res simsrv.Result
 	run := func(s uint64) (uint64, error) {
-		cfg.Seed = s
-		var (
-			res *simsrv.Result
-			err error
-		)
-		if sc.packetized {
-			res, err = simsrv.RunPacketized(simsrv.PacketizedConfig{Config: cfg})
-		} else {
-			res, err = simsrv.Run(cfg)
+		var err error
+		switch {
+		case sc.packetized:
+			err = sim.ResetPacketized(simsrv.PacketizedConfig{Config: cfg}, s)
+		case sc.trace:
+			err = sim.ResetTrace(cfg, trace, s)
+		default:
+			err = sim.Reset(cfg, s)
 		}
 		if err != nil {
+			return 0, err
+		}
+		if err := sim.RunInto(&res); err != nil {
 			return 0, err
 		}
 		return res.EventsProcessed, nil
 	}
 
-	// One untimed warmup replication so JIT-ish one-time costs (page
-	// faults, arena growth) don't pollute the measurement.
+	// One untimed warmup replication so one-time costs (page faults,
+	// arena growth to the scenario's high-water mark) don't pollute the
+	// measurement.
 	if _, err := run(seed); err != nil {
 		return scenarioResult{}, err
 	}
@@ -164,6 +320,64 @@ func runScenario(sc scenario, runs int, warmup, horizon float64, seed uint64) (s
 		EventsPerSec:   float64(events) / wall,
 		NsPerEvent:     wall * 1e9 / float64(events),
 		AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / float64(events),
+	}, nil
+}
+
+// runFigureSweep drives the Figure 2 scenario grid (load sweep × runs,
+// reduced fidelity) through the sweep engine — the workload whose
+// per-replication setup and aggregation memory the arena engine
+// optimizes. BenchmarkFigureSweep in the root package runs the same grid
+// through the full figure-assembly path.
+func runFigureSweep(sc scenario, runs int, seed uint64) (scenarioResult, error) {
+	const (
+		sweepWarmup  = 2000.0
+		sweepHorizon = 15000.0
+	)
+	loads := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	points := make([]sweep.Point, len(loads))
+	for i, rho := range loads {
+		cfg := simsrv.EqualLoadConfig(sc.deltas, rho, nil)
+		cfg.Warmup = sweepWarmup
+		cfg.Horizon = sweepHorizon
+		cfg.Seed = seed
+		points[i] = sweep.Point{Cfg: cfg, Runs: runs}
+	}
+	reps := len(points) * runs
+
+	// Untimed warmup sweep to populate worker arenas.
+	if _, err := sweep.Run(points); err != nil {
+		return scenarioResult{}, err
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	aggs, err := sweep.Run(points)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	var events uint64
+	for _, agg := range aggs {
+		events += agg.EventsProcessed
+	}
+
+	return scenarioResult{
+		Name:         sc.name,
+		Classes:      len(sc.deltas),
+		Model:        "figure-sweep",
+		Runs:         runs,
+		Warmup:       sweepWarmup,
+		Horizon:      sweepHorizon,
+		Events:       events,
+		WallSeconds:  wall,
+		EventsPerSec: float64(events) / wall,
+		NsPerEvent:   wall * 1e9 / float64(events),
+		Replications: reps,
+		RepsPerSec:   float64(reps) / wall,
+		AllocsPerRep: float64(ms1.Mallocs-ms0.Mallocs) / float64(reps),
 	}, nil
 }
 

@@ -30,6 +30,7 @@ func main() {
 		warmup  = flag.Float64("warmup", 0, "warmup tu (0 = fidelity default)")
 		seed    = flag.Uint64("seed", 1, "base random seed")
 		quick   = flag.Bool("quick", false, "reduced fidelity (10 runs, 15k tu)")
+		workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		out     = flag.String("out", "", "output directory for CSV (default: tables to stdout)")
 	)
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 		opts.Warmup = *warmup
 	}
 	opts.Seed = *seed
+	opts.Workers = *workers
 
 	var ids []int
 	if *fig == "all" {

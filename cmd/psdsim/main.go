@@ -21,6 +21,7 @@ import (
 	"psd/internal/core"
 	"psd/internal/dist"
 	"psd/internal/simsrv"
+	"psd/internal/sweep"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		window      = flag.Float64("window", 1000, "estimation/reallocation window")
 		history     = flag.Int("history", 5, "estimator history windows")
 		seed        = flag.Uint64("seed", 1, "base random seed")
+		workers     = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		allocator   = flag.String("allocator", "psd", "psd | pdd | equal | demand")
 		workConserv = flag.Bool("work-conserving", false, "redistribute idle class capacity (GPS ablation)")
 		oracle      = flag.Bool("oracle", false, "feed the allocator true arrival rates (no estimation error)")
@@ -72,10 +74,12 @@ func main() {
 	}
 
 	start := time.Now()
-	agg, err := simsrv.RunReplications(cfg, *runs)
+	eng := sweep.Engine{Workers: *workers}
+	aggs, err := eng.Run([]sweep.Point{{Cfg: cfg, Runs: *runs}})
 	if err != nil {
 		fatalf("simulation failed: %v", err)
 	}
+	agg := aggs[0]
 	elapsed := time.Since(start)
 
 	fmt.Printf("PSD simulation — %d classes, load %.0f%%, %s allocator, %d runs × %g tu\n",

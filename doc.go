@@ -49,11 +49,15 @@
 //	internal/sched     GPS/WFQ/DRR/WRR/Lottery substrate
 //	internal/control   load estimators, feedback extension
 //	internal/admission overload protection complementing differentiation
-//	internal/simsrv    the paper's simulation model (Fig. 1)
+//	internal/simsrv    the paper's simulation model (Fig. 1) as a
+//	                   reusable arena: Simulator Reset/RunInto plus
+//	                   streaming replication aggregation
+//	internal/sweep     scenario-grid engine: (point, replication) task
+//	                   queue over a pool of per-worker arenas
 //	internal/workload  session-based e-commerce request streams
 //	internal/loadgen   open-loop Poisson HTTP load driver
 //	internal/httpsrv   PSD on a real net/http server
-//	internal/figures   Figures 2–12 regeneration
+//	internal/figures   Figures 2–12 regeneration (on internal/sweep)
 //
 // Start with AllocateRates for the analytic strategy, Simulate for the
 // paper's experiment rig, or internal/httpsrv for a live server. The
@@ -63,10 +67,16 @@
 //
 // Every paper result averages 100 replications of a 70,000-time-unit
 // simulation, so events/sec of internal/des bounds how many scenarios
-// the harness can explore. BenchmarkReplication (root package) runs full
-// paper-fidelity replications and reports events/s, ns/event and
-// allocs/event; cmd/psdbench runs the same scenarios and writes the
-// committed BENCH_psd.json baseline. Seeded replications are
-// reproducible bit-for-bit across engine versions — the golden tests in
-// internal/simsrv pin exact trajectories.
+// the harness can explore — and every figure is a grid of such scenario
+// points, which internal/sweep shards across a pool of reusable
+// simulation arenas (simsrv.Simulator) with streaming Welford+P²
+// aggregation. BenchmarkReplication (root package) runs full
+// paper-fidelity replications through one arena and gates allocs/event
+// (< 0.01, both server models) and allocs/replication (< 10);
+// BenchmarkFigureSweep tracks full-figure throughput; cmd/psdbench runs
+// the same scenarios, writes the committed BENCH_psd.json baseline, and
+// in -compare mode turns regressions into non-zero exits (CI runs it).
+// Seeded replications are reproducible bit-for-bit across engine
+// versions and across arena reuse — the golden tests in internal/simsrv
+// pin exact trajectories.
 package psd

@@ -15,25 +15,31 @@ type EqualShare struct{}
 func (EqualShare) Name() string { return "equal" }
 
 // Allocate implements Allocator.
-func (EqualShare) Allocate(classes []Class, w Workload) (Allocation, error) {
+func (a EqualShare) Allocate(classes []Class, w Workload) (Allocation, error) {
+	var alloc Allocation
+	if err := a.AllocateInto(&alloc, classes, w); err != nil {
+		return Allocation{}, err
+	}
+	return alloc, nil
+}
+
+// AllocateInto implements InPlaceAllocator.
+func (EqualShare) AllocateInto(dst *Allocation, classes []Class, w Workload) error {
 	rho, err := validateClasses(classes, w)
 	if err != nil {
-		return Allocation{}, err
+		return err
 	}
 	n := float64(len(classes))
-	rates := make([]float64, len(classes))
+	dst.reserve(len(classes))
+	dst.Utilization = rho
 	for i, c := range classes {
-		rates[i] = 1 / n
-		if c.Lambda*w.MeanSize >= rates[i] {
-			return Allocation{}, fmt.Errorf("%w: class %d demand %.4f >= equal share %.4f",
-				ErrInfeasible, i, c.Lambda*w.MeanSize, rates[i])
+		dst.Rates[i] = 1 / n
+		if c.Lambda*w.MeanSize >= dst.Rates[i] {
+			return fmt.Errorf("%w: class %d demand %.4f >= equal share %.4f",
+				ErrInfeasible, i, c.Lambda*w.MeanSize, dst.Rates[i])
 		}
 	}
-	sl, err := SlowdownUnderRates(classes, w, rates)
-	if err != nil {
-		return Allocation{}, err
-	}
-	return Allocation{Rates: rates, ExpectedSlowdowns: sl, Utilization: rho}, nil
+	return slowdownUnderRatesInto(dst.ExpectedSlowdowns, classes, w, dst.Rates)
 }
 
 // DemandProportional gives each class capacity proportional to its demand
@@ -47,26 +53,32 @@ type DemandProportional struct{}
 func (DemandProportional) Name() string { return "demand" }
 
 // Allocate implements Allocator.
-func (DemandProportional) Allocate(classes []Class, w Workload) (Allocation, error) {
-	rho, err := validateClasses(classes, w)
-	if err != nil {
+func (a DemandProportional) Allocate(classes []Class, w Workload) (Allocation, error) {
+	var alloc Allocation
+	if err := a.AllocateInto(&alloc, classes, w); err != nil {
 		return Allocation{}, err
 	}
-	rates := make([]float64, len(classes))
+	return alloc, nil
+}
+
+// AllocateInto implements InPlaceAllocator.
+func (DemandProportional) AllocateInto(dst *Allocation, classes []Class, w Workload) error {
+	rho, err := validateClasses(classes, w)
+	if err != nil {
+		return err
+	}
+	dst.reserve(len(classes))
+	dst.Utilization = rho
 	if rho == 0 {
-		for i := range rates {
-			rates[i] = 1 / float64(len(classes))
+		for i := range dst.Rates {
+			dst.Rates[i] = 1 / float64(len(classes))
 		}
 	} else {
 		for i, c := range classes {
-			rates[i] = c.Lambda * w.MeanSize / rho
+			dst.Rates[i] = c.Lambda * w.MeanSize / rho
 		}
 	}
-	sl, err := SlowdownUnderRates(classes, w, rates)
-	if err != nil {
-		return Allocation{}, err
-	}
-	return Allocation{Rates: rates, ExpectedSlowdowns: sl, Utilization: rho}, nil
+	return slowdownUnderRatesInto(dst.ExpectedSlowdowns, classes, w, dst.Rates)
 }
 
 // Static applies a fixed, demand-independent weight vector (normalized at
@@ -145,29 +157,31 @@ func (PDD) Name() string { return "pdd" }
 // positive root of r² − λE[X]·r − λE[X²]/(2Aδ) = 0; Σr_i is strictly
 // decreasing in A (limit ρ as A→∞, +∞ as A→0), so the shared bisection in
 // solveQuadraticShares pins A with Σr = 1.
-func (PDD) Allocate(classes []Class, w Workload) (Allocation, error) {
+func (a PDD) Allocate(classes []Class, w Workload) (Allocation, error) {
+	var alloc Allocation
+	if err := a.AllocateInto(&alloc, classes, w); err != nil {
+		return Allocation{}, err
+	}
+	return alloc, nil
+}
+
+// AllocateInto implements InPlaceAllocator.
+func (PDD) AllocateInto(dst *Allocation, classes []Class, w Workload) error {
 	rho, err := validateClasses(classes, w)
 	if err != nil {
-		return Allocation{}, err
+		return err
 	}
-	coeff := make([]float64, len(classes))
-	for i, c := range classes {
-		coeff[i] = c.Lambda * w.SecondMoment / 2
+	dst.reserve(len(classes))
+	dst.Utilization = rho
+	if err := solveQuadraticSharesInto(dst.Rates, classes, w, false); err != nil {
+		return err
 	}
-	rates, err := solveQuadraticShares(classes, w, coeff)
-	if err != nil {
-		return Allocation{}, err
-	}
-	sl, err := SlowdownUnderRates(classes, w, rates)
-	if err != nil {
-		return Allocation{}, err
-	}
-	return Allocation{Rates: rates, ExpectedSlowdowns: sl, Utilization: rho}, nil
+	return slowdownUnderRatesInto(dst.ExpectedSlowdowns, classes, w, dst.Rates)
 }
 
 var (
-	_ Allocator = EqualShare{}
-	_ Allocator = DemandProportional{}
-	_ Allocator = (*Static)(nil)
-	_ Allocator = PDD{}
+	_ InPlaceAllocator = EqualShare{}
+	_ InPlaceAllocator = DemandProportional{}
+	_ Allocator        = (*Static)(nil)
+	_ InPlaceAllocator = PDD{}
 )

@@ -112,6 +112,53 @@ type Allocator interface {
 	Name() string
 }
 
+// InPlaceAllocator is implemented by allocators that can fill a reusable
+// Allocation without heap allocation. The simulation arenas call the
+// allocator once per reallocation window — roughly 70 times per
+// replication, millions of times per figure sweep — so the hot allocators
+// (PSD, PacketizedPSD, PDD and the simple baselines) provide this.
+type InPlaceAllocator interface {
+	Allocator
+	// AllocateInto computes the same result as Allocate into dst,
+	// reusing dst's slices when they have capacity. On error dst is
+	// unspecified. The rates must be arithmetically identical to
+	// Allocate's — seeded replications are compared bit-for-bit across
+	// engine versions.
+	AllocateInto(dst *Allocation, classes []Class, w Workload) error
+}
+
+// AllocateInto runs al into dst, using the in-place path when al supports
+// it and otherwise copying a fresh Allocate result into dst's (reused)
+// slices. It is the call sites' single entry point so custom Allocators
+// keep working unchanged, just without the zero-allocation guarantee.
+func AllocateInto(al Allocator, dst *Allocation, classes []Class, w Workload) error {
+	if ipa, ok := al.(InPlaceAllocator); ok {
+		return ipa.AllocateInto(dst, classes, w)
+	}
+	a, err := al.Allocate(classes, w)
+	if err != nil {
+		return err
+	}
+	dst.Rates = append(dst.Rates[:0], a.Rates...)
+	dst.ExpectedSlowdowns = append(dst.ExpectedSlowdowns[:0], a.ExpectedSlowdowns...)
+	dst.Utilization = a.Utilization
+	return nil
+}
+
+// reserve sizes the allocation's slices for n classes, reusing capacity.
+// Callers write every element, so stale contents need no clearing.
+func (a *Allocation) reserve(n int) {
+	a.Rates = resizeFloats(a.Rates, n)
+	a.ExpectedSlowdowns = resizeFloats(a.ExpectedSlowdowns, n)
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // validateClasses performs the shared input checking.
 func validateClasses(classes []Class, w Workload) (rho float64, err error) {
 	if len(classes) == 0 {
@@ -147,39 +194,46 @@ func (PSD) Name() string { return "psd" }
 // Classes with λ_i = 0 receive zero rate and a zero predicted slowdown:
 // with no arrivals there is no queueing, and reserving surplus for an idle
 // class would only inflate the others' slowdowns.
-func (PSD) Allocate(classes []Class, w Workload) (Allocation, error) {
+func (p PSD) Allocate(classes []Class, w Workload) (Allocation, error) {
+	var alloc Allocation
+	if err := p.AllocateInto(&alloc, classes, w); err != nil {
+		return Allocation{}, err
+	}
+	return alloc, nil
+}
+
+// AllocateInto implements InPlaceAllocator.
+func (PSD) AllocateInto(dst *Allocation, classes []Class, w Workload) error {
 	rho, err := validateClasses(classes, w)
 	if err != nil {
-		return Allocation{}, err
+		return err
 	}
 	sumScaled := 0.0 // Σ λ_j/δ_j
 	for _, c := range classes {
 		sumScaled += c.Lambda / c.Delta
 	}
-	alloc := Allocation{
-		Rates:             make([]float64, len(classes)),
-		ExpectedSlowdowns: make([]float64, len(classes)),
-		Utilization:       rho,
-	}
+	dst.reserve(len(classes))
+	dst.Utilization = rho
 	if sumScaled == 0 {
 		// No demand at all: split capacity evenly (arbitrary but total).
-		for i := range alloc.Rates {
-			alloc.Rates[i] = 1 / float64(len(classes))
+		for i := range dst.Rates {
+			dst.Rates[i] = 1 / float64(len(classes))
+			dst.ExpectedSlowdowns[i] = 0
 		}
-		return alloc, nil
+		return nil
 	}
 	c := w.SlowdownConstant()
 	surplus := 1 - rho
 	for i, cl := range classes {
-		alloc.Rates[i] = cl.Lambda*w.MeanSize + (cl.Lambda/cl.Delta)*surplus/sumScaled
+		dst.Rates[i] = cl.Lambda*w.MeanSize + (cl.Lambda/cl.Delta)*surplus/sumScaled
 		if cl.Lambda == 0 {
-			alloc.ExpectedSlowdowns[i] = 0
+			dst.ExpectedSlowdowns[i] = 0
 			continue
 		}
 		// Eq. 18: E[S_i] = δ_i·C·Σ(λ_j/δ_j)/(1−ρ)
-		alloc.ExpectedSlowdowns[i] = cl.Delta * c * sumScaled / surplus
+		dst.ExpectedSlowdowns[i] = cl.Delta * c * sumScaled / surplus
 	}
-	return alloc, nil
+	return nil
 }
 
 // ExpectedSlowdown returns Eq. 18 directly for class i without building a
@@ -206,27 +260,36 @@ func ExpectedSlowdown(classes []Class, w Workload, i int) (float64, error) {
 // rate vector (not necessarily the PSD allocation); used to predict what
 // baseline allocators achieve. Returns +Inf for overloaded classes.
 func SlowdownUnderRates(classes []Class, w Workload, rates []float64) ([]float64, error) {
-	if len(rates) != len(classes) {
-		return nil, fmt.Errorf("core: %d rates for %d classes", len(rates), len(classes))
-	}
-	if err := w.Validate(); err != nil {
+	out := make([]float64, len(classes))
+	if err := slowdownUnderRatesInto(out, classes, w, rates); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// slowdownUnderRatesInto is SlowdownUnderRates into caller-owned storage
+// (len(dst) == len(classes)), for the in-place allocator paths.
+func slowdownUnderRatesInto(dst []float64, classes []Class, w Workload, rates []float64) error {
+	if len(rates) != len(classes) {
+		return fmt.Errorf("core: %d rates for %d classes", len(rates), len(classes))
+	}
+	if err := w.Validate(); err != nil {
+		return err
+	}
 	c := w.SlowdownConstant()
-	out := make([]float64, len(classes))
 	for i, cl := range classes {
 		if cl.Lambda == 0 {
-			out[i] = 0
+			dst[i] = 0
 			continue
 		}
 		surplus := rates[i] - cl.Lambda*w.MeanSize
 		if surplus <= 0 {
-			out[i] = math.Inf(1)
+			dst[i] = math.Inf(1)
 			continue
 		}
-		out[i] = cl.Lambda * c / surplus
+		dst[i] = cl.Lambda * c / surplus
 	}
-	return out, nil
+	return nil
 }
 
 // Feasible reports whether the classes' total demand fits in unit
@@ -243,7 +306,7 @@ func Feasible(classes []Class, w Workload) bool {
 // symmetry with allocators whose stability region is smaller.
 func MaxStableLoad(Allocator) float64 { return 1 }
 
-var _ Allocator = PSD{}
+var _ InPlaceAllocator = PSD{}
 
 // TheoremSlowdown re-exports Theorem 1 via the queueing package for
 // convenience: mean slowdown of a λ-rate class on a rate-r task server

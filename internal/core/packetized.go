@@ -40,35 +40,45 @@ type PacketizedPSD struct{}
 func (PacketizedPSD) Name() string { return "ppsd" }
 
 // Allocate implements Allocator.
-func (PacketizedPSD) Allocate(classes []Class, w Workload) (Allocation, error) {
+func (p PacketizedPSD) Allocate(classes []Class, w Workload) (Allocation, error) {
+	var alloc Allocation
+	if err := p.AllocateInto(&alloc, classes, w); err != nil {
+		return Allocation{}, err
+	}
+	return alloc, nil
+}
+
+// AllocateInto implements InPlaceAllocator. The bisection evaluates the
+// share total ~200 times per call with no per-iteration allocation, which
+// is what keeps the packetized simulation's reallocation tick off the heap
+// (it used to be the dominant allocation source of the whole mode).
+func (PacketizedPSD) AllocateInto(dst *Allocation, classes []Class, w Workload) error {
 	rho, err := validateClasses(classes, w)
 	if err != nil {
-		return Allocation{}, err
+		return err
 	}
-	// Per-class quadratic coefficient: λ_i·E[X²]·E[1/X]/2 (the only
+	dst.reserve(len(classes))
+	dst.Utilization = rho
+	if err := solveQuadraticSharesInto(dst.Rates, classes, w, true); err != nil {
+		return err
+	}
+	// Predicted slowdowns under the packetized model. The coefficient is
+	// the per-class quadratic numerator λ_i·E[X²]·E[1/X]/2 (the only
 	// difference from the PDD baseline's λ_i·E[X²]/2).
-	coeff := make([]float64, len(classes))
-	for i, c := range classes {
-		coeff[i] = c.Lambda * w.SecondMoment * w.InverseMoment / 2
-	}
-	rates, err := solveQuadraticShares(classes, w, coeff)
-	if err != nil {
-		return Allocation{}, err
-	}
-	// Predicted slowdowns under the packetized model.
-	sl := make([]float64, len(classes))
 	for i, c := range classes {
 		if c.Lambda == 0 {
+			dst.ExpectedSlowdowns[i] = 0
 			continue
 		}
-		surplus := rates[i] * (rates[i] - c.Lambda*w.MeanSize)
+		coeff := c.Lambda * w.SecondMoment * w.InverseMoment / 2
+		surplus := dst.Rates[i] * (dst.Rates[i] - c.Lambda*w.MeanSize)
 		if surplus <= 0 {
-			sl[i] = math.Inf(1)
+			dst.ExpectedSlowdowns[i] = math.Inf(1)
 			continue
 		}
-		sl[i] = coeff[i] / surplus
+		dst.ExpectedSlowdowns[i] = coeff / surplus
 	}
-	return Allocation{Rates: rates, ExpectedSlowdowns: sl, Utilization: rho}, nil
+	return nil
 }
 
 // PacketizedSlowdown predicts the mean slowdown of class i on a
@@ -90,67 +100,84 @@ func PacketizedSlowdown(lambda float64, w Workload, weight float64) (float64, er
 	return lambda * w.SecondMoment * w.InverseMoment / (2 * weight * surplus), nil
 }
 
-// solveQuadraticShares finds shares w_i = (b_i + √(b_i² + 4·coeff_i/(Aδ_i)))/2
-// summing to 1, where b_i = λ_iE[X]. Shared by the PDD baseline and
-// PacketizedPSD — both impose a per-class metric of the form
-// coeff_i/(w_i(w_i − b_i)) = A·δ_i.
-func solveQuadraticShares(classes []Class, w Workload, coeff []float64) ([]float64, error) {
+// solveQuadraticSharesInto finds shares
+// w_i = (b_i + √(b_i² + 4·coeff_i/(Aδ_i)))/2 summing to 1, where
+// b_i = λ_iE[X], writing them into dst (len(dst) == len(classes)). Shared
+// by the PDD baseline and PacketizedPSD — both impose a per-class metric
+// of the form coeff_i/(w_i(w_i − b_i)) = A·δ_i; slowdownWeighted selects
+// PacketizedPSD's coefficient λ_i·E[X²]·E[1/X]/2 over PDD's λ_i·E[X²]/2.
+// The bisection evaluates only the share total, so the ~200 probes cost
+// no allocation; dst is filled once at the converged pivot, with the
+// coefficient arithmetic kept in the historical evaluation order so the
+// result is bit-identical to the slice-per-probe implementation this
+// replaced.
+func solveQuadraticSharesInto(dst []float64, classes []Class, w Workload, slowdownWeighted bool) error {
 	active := 0
 	for _, c := range classes {
 		if c.Lambda > 0 {
 			active++
 		}
 	}
-	rates := make([]float64, len(classes))
 	if active == 0 {
-		for i := range rates {
-			rates[i] = 1 / float64(len(classes))
+		for i := range dst {
+			dst[i] = 1 / float64(len(classes))
 		}
-		return rates, nil
+		return nil
 	}
-	ratesFor := func(a float64) ([]float64, float64) {
-		rs := make([]float64, len(classes))
+	coeff := func(c Class) float64 {
+		v := c.Lambda * w.SecondMoment
+		if slowdownWeighted {
+			v *= w.InverseMoment
+		}
+		return v / 2
+	}
+	totalFor := func(a float64) float64 {
 		total := 0.0
-		for i, c := range classes {
+		for _, c := range classes {
 			if c.Lambda == 0 {
 				continue
 			}
 			b := c.Lambda * w.MeanSize
-			q := coeff[i] / (a * c.Delta)
-			rs[i] = (b + math.Sqrt(b*b+4*q)) / 2
-			total += rs[i]
+			q := coeff(c) / (a * c.Delta)
+			total += (b + math.Sqrt(b*b+4*q)) / 2
 		}
-		return rs, total
+		return total
 	}
 	lo, hi := 1e-12, 1.0
-	for {
-		if _, total := ratesFor(hi); total <= 1 {
-			break
-		}
+	for totalFor(hi) > 1 {
 		hi *= 2
 		if hi > 1e18 {
-			return nil, fmt.Errorf("%w: share bisection failed to bracket", ErrInfeasible)
+			return fmt.Errorf("%w: share bisection failed to bracket", ErrInfeasible)
 		}
 	}
 	for iter := 0; iter < 200; iter++ {
 		mid := math.Sqrt(lo * hi)
-		if _, total := ratesFor(mid); total > 1 {
+		if totalFor(mid) > 1 {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
-	final, total := ratesFor(hi)
+	total := 0.0
+	for i, c := range classes {
+		if c.Lambda == 0 {
+			dst[i] = 0
+			continue
+		}
+		b := c.Lambda * w.MeanSize
+		q := coeff(c) / (hi * c.Delta)
+		dst[i] = (b + math.Sqrt(b*b+4*q)) / 2
+		total += dst[i]
+	}
 	if total > 0 && total < 1 {
 		residual := 1 - total
-		for i := range final {
+		for i := range dst {
 			if classes[i].Lambda > 0 {
-				final[i] += residual * final[i] / total
+				dst[i] += residual * dst[i] / total
 			}
 		}
 	}
-	copy(rates, final)
-	return rates, nil
+	return nil
 }
 
-var _ Allocator = PacketizedPSD{}
+var _ InPlaceAllocator = PacketizedPSD{}

@@ -119,6 +119,33 @@ type Simulator struct {
 // New returns an empty simulator at time zero.
 func New() *Simulator { return &Simulator{} }
 
+// Reset returns the simulator to its freshly constructed state — time
+// zero, no pending events, sequence and processed counters cleared —
+// while retaining the heap and slot arena capacity. A reset simulator
+// behaves identically to a new one (same seq numbering, hence the same
+// (time, seq) fire order for the same schedule calls), which is what lets
+// a replication arena be replayed with bit-identical results. All
+// outstanding EventIDs go stale: every retained slot's generation is
+// bumped, exactly as release would, so the "stale handles are detected
+// and ignored even if the underlying slot has been reused" guarantee
+// holds across Reset too. (Slot numbers never participate in event
+// ordering, so handing the recycled slots out in a different order than
+// a fresh simulator would is unobservable.)
+func (s *Simulator) Reset() {
+	s.now = 0
+	s.seq = 0
+	s.processed = 0
+	s.heap = s.heap[:0]
+	s.free = s.free[:0]
+	for i := range s.slots {
+		st := &s.slots[i]
+		st.h = nil
+		st.gen++
+		st.pos = -1
+		s.free = append(s.free, int32(i))
+	}
+}
+
 // Now returns the current simulation time.
 func (s *Simulator) Now() float64 { return s.now }
 

@@ -432,6 +432,47 @@ func TestManyReschedules(t *testing.T) {
 	}
 }
 
+// TestResetReplaysIdentically: a Reset simulator must behave exactly
+// like a fresh one — same clock, same sequence numbering (hence the same
+// fire order for identical schedules), zero allocation on the second
+// pass — and handles from before the Reset must be inert.
+func TestResetReplaysIdentically(t *testing.T) {
+	run := func(s *Simulator) ([]int32, uint64) {
+		var order []int32
+		h := HandlerFunc(func(_, data int32) { order = append(order, data) })
+		a := s.Schedule(5, h, 0, 1)
+		s.Schedule(3, h, 0, 2)
+		s.Schedule(3, h, 0, 3) // ties with the previous: FIFO by seq
+		s.Cancel(a)
+		s.Schedule(7, h, 0, 4)
+		s.RunUntil(10)
+		return order, s.Processed()
+	}
+	s := New()
+	first, firstN := run(s)
+	stale := s.Schedule(1e9, HandlerFunc(func(_, _ int32) {}), 0, 99)
+	s.Reset()
+	if s.Now() != 0 || s.Pending() != 0 || s.Processed() != 0 {
+		t.Fatalf("Reset left state: now=%v pending=%d processed=%d", s.Now(), s.Pending(), s.Processed())
+	}
+	if s.Cancel(stale) || s.Active(stale) {
+		t.Fatal("pre-Reset handle still live")
+	}
+	second, secondN := run(s)
+	fresh, freshN := run(New())
+	if len(first) != len(second) || len(second) != len(fresh) {
+		t.Fatalf("fire counts differ: %v / %v / %v", first, second, fresh)
+	}
+	for i := range fresh {
+		if second[i] != fresh[i] || first[i] != fresh[i] {
+			t.Fatalf("fire order diverged at %d: first %v, reset %v, fresh %v", i, first, second, fresh)
+		}
+	}
+	if firstN != secondN || secondN != freshN {
+		t.Fatalf("processed counts differ: %d / %d / %d", firstN, secondN, freshN)
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	s := New()
 	r := rng.New(1)

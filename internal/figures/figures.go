@@ -28,6 +28,7 @@ import (
 
 	"psd/internal/dist"
 	"psd/internal/simsrv"
+	"psd/internal/sweep"
 )
 
 // Options control fidelity and provenance.
@@ -42,6 +43,8 @@ type Options struct {
 	Seed uint64
 	// Loads overrides the default load sweep {0.05, 0.1, …, 0.95}.
 	Loads []float64
+	// Workers sizes the sweep engine's worker pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Defaults returns the paper-fidelity options.
@@ -96,6 +99,19 @@ func (o Options) config(deltas []float64, rho float64, svc dist.Distribution) si
 	return cfg
 }
 
+// runGrid executes one figure's whole scenario grid through the sweep
+// engine: every (config × Runs) replication shares one global task queue
+// over per-worker arenas, so a slow point never stalls the rest of the
+// figure. Aggregates return in cfgs order.
+func (o Options) runGrid(cfgs []simsrv.Config) ([]*simsrv.Aggregate, error) {
+	points := make([]sweep.Point, len(cfgs))
+	for i, cfg := range cfgs {
+		points[i] = sweep.Point{Cfg: cfg, Runs: o.Runs}
+	}
+	eng := sweep.Engine{Workers: o.Workers}
+	return eng.Run(points)
+}
+
 // simVsExpected produces the Figure 2/3/4 layout for arbitrary deltas.
 func simVsExpected(id int, deltas []float64, opts Options) (Figure, error) {
 	opts = opts.withDefaults()
@@ -113,11 +129,16 @@ func simVsExpected(id int, deltas []float64, opts Options) (Figure, error) {
 		exp[i] = Series{Name: fmt.Sprintf("Class %d (expected)", i+1)}
 	}
 	sys := Series{Name: "System (simulated)"}
-	for _, rho := range opts.Loads {
-		agg, err := simsrv.RunReplications(opts.config(deltas, rho, nil), opts.Runs)
-		if err != nil {
-			return Figure{}, fmt.Errorf("figure %d at load %v: %w", id, rho, err)
-		}
+	cfgs := make([]simsrv.Config, len(opts.Loads))
+	for li, rho := range opts.Loads {
+		cfgs[li] = opts.config(deltas, rho, nil)
+	}
+	aggs, err := opts.runGrid(cfgs)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure %d: %w", id, err)
+	}
+	for li, rho := range opts.Loads {
+		agg := aggs[li]
 		for i := range deltas {
 			sim[i].X = append(sim[i].X, rho*100)
 			sim[i].Y = append(sim[i].Y, agg.MeanSlowdowns[i])
@@ -153,16 +174,23 @@ func Figure5(opts Options) (Figure, error) {
 		YLabel: "Slowdown ratio (Class 2 / Class 1)",
 		Notes:  "Per pre-specified ratio: p05/p50/p95 series from pooled per-window ratios.",
 	}
-	for _, d2 := range []float64{2, 4, 8} {
+	ratios := []float64{2, 4, 8}
+	var cfgs []simsrv.Config
+	for _, d2 := range ratios {
+		for _, rho := range opts.Loads {
+			cfgs = append(cfgs, opts.config([]float64{1, d2}, rho, nil))
+		}
+	}
+	aggs, err := opts.runGrid(cfgs)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure 5: %w", err)
+	}
+	for di, d2 := range ratios {
 		p05 := Series{Name: fmt.Sprintf("d2/d1=%g p05", d2)}
 		p50 := Series{Name: fmt.Sprintf("d2/d1=%g p50", d2)}
 		p95 := Series{Name: fmt.Sprintf("d2/d1=%g p95", d2)}
-		for _, rho := range opts.Loads {
-			agg, err := simsrv.RunReplications(opts.config([]float64{1, d2}, rho, nil), opts.Runs)
-			if err != nil {
-				return Figure{}, fmt.Errorf("figure 5 d2=%v load %v: %w", d2, rho, err)
-			}
-			rs := agg.RatioSummaries[1]
+		for li, rho := range opts.Loads {
+			rs := aggs[di*len(opts.Loads)+li].RatioSummaries[1]
 			p05.X = append(p05.X, rho*100)
 			p05.Y = append(p05.Y, rs.P05)
 			p50.X = append(p50.X, rho*100)
@@ -198,13 +226,17 @@ func Figure6(opts Options) (Figure, error) {
 		series[ti][1] = Series{Name: tg.name + " p50"}
 		series[ti][2] = Series{Name: tg.name + " p95"}
 	}
-	for _, rho := range opts.Loads {
-		agg, err := simsrv.RunReplications(opts.config([]float64{1, 2, 3}, rho, nil), opts.Runs)
-		if err != nil {
-			return Figure{}, fmt.Errorf("figure 6 load %v: %w", rho, err)
-		}
+	cfgs := make([]simsrv.Config, len(opts.Loads))
+	for li, rho := range opts.Loads {
+		cfgs[li] = opts.config([]float64{1, 2, 3}, rho, nil)
+	}
+	aggs, err := opts.runGrid(cfgs)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure 6: %w", err)
+	}
+	for li, rho := range opts.Loads {
 		for ti, tg := range targets {
-			rs := agg.RatioSummaries[tg.idx]
+			rs := aggs[li].RatioSummaries[tg.idx]
 			for pi, v := range []float64{rs.P05, rs.P50, rs.P95} {
 				series[ti][pi].X = append(series[ti][pi].X, rho*100)
 				series[ti][pi].Y = append(series[ti][pi].Y, v)
@@ -275,15 +307,22 @@ func Figure9(opts Options) (Figure, error) {
 		XLabel: "System load (%)",
 		YLabel: "Slowdown ratio",
 	}
-	for _, d2 := range []float64{2, 4, 8} {
-		s := Series{Name: fmt.Sprintf("Class2/Class1 (d2/d1=%g)", d2)}
+	ratios := []float64{2, 4, 8}
+	var cfgs []simsrv.Config
+	for _, d2 := range ratios {
 		for _, rho := range opts.Loads {
-			agg, err := simsrv.RunReplications(opts.config([]float64{1, d2}, rho, nil), opts.Runs)
-			if err != nil {
-				return Figure{}, fmt.Errorf("figure 9 d2=%v load %v: %w", d2, rho, err)
-			}
+			cfgs = append(cfgs, opts.config([]float64{1, d2}, rho, nil))
+		}
+	}
+	aggs, err := opts.runGrid(cfgs)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure 9: %w", err)
+	}
+	for di, d2 := range ratios {
+		s := Series{Name: fmt.Sprintf("Class2/Class1 (d2/d1=%g)", d2)}
+		for li, rho := range opts.Loads {
 			s.X = append(s.X, rho*100)
-			s.Y = append(s.Y, agg.MeanRatios[1])
+			s.Y = append(s.Y, aggs[di*len(opts.Loads)+li].MeanRatios[1])
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -301,15 +340,19 @@ func Figure10(opts Options) (Figure, error) {
 	}
 	s21 := Series{Name: "Class2/Class1 (d2/d1=2)"}
 	s31 := Series{Name: "Class3/Class1 (d3/d1=3)"}
-	for _, rho := range opts.Loads {
-		agg, err := simsrv.RunReplications(opts.config([]float64{1, 2, 3}, rho, nil), opts.Runs)
-		if err != nil {
-			return Figure{}, fmt.Errorf("figure 10 load %v: %w", rho, err)
-		}
+	cfgs := make([]simsrv.Config, len(opts.Loads))
+	for li, rho := range opts.Loads {
+		cfgs[li] = opts.config([]float64{1, 2, 3}, rho, nil)
+	}
+	aggs, err := opts.runGrid(cfgs)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure 10: %w", err)
+	}
+	for li, rho := range opts.Loads {
 		s21.X = append(s21.X, rho*100)
-		s21.Y = append(s21.Y, agg.MeanRatios[1])
+		s21.Y = append(s21.Y, aggs[li].MeanRatios[1])
 		s31.X = append(s31.X, rho*100)
-		s31.Y = append(s31.Y, agg.MeanRatios[2])
+		s31.Y = append(s31.Y, aggs[li].MeanRatios[2])
 	}
 	fig.Series = []Series{s21, s31}
 	return fig, nil
@@ -332,15 +375,21 @@ func Figure11(opts Options) (Figure, error) {
 	sim2 := Series{Name: "Class 2 (simulated)"}
 	exp1 := Series{Name: "Class 1 (expected)"}
 	exp2 := Series{Name: "Class 2 (expected)"}
-	for _, alpha := range []float64{1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0} {
+	alphas := []float64{1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0}
+	cfgs := make([]simsrv.Config, len(alphas))
+	for ai, alpha := range alphas {
 		svc, err := dist.NewBoundedPareto(0.1, 100, alpha)
 		if err != nil {
 			return Figure{}, err
 		}
-		agg, err := simsrv.RunReplications(opts.config([]float64{1, 2}, 0.7, svc), opts.Runs)
-		if err != nil {
-			return Figure{}, fmt.Errorf("figure 11 alpha=%v: %w", alpha, err)
-		}
+		cfgs[ai] = opts.config([]float64{1, 2}, 0.7, svc)
+	}
+	aggs, err := opts.runGrid(cfgs)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure 11: %w", err)
+	}
+	for ai, alpha := range alphas {
+		agg := aggs[ai]
 		sim1.X = append(sim1.X, alpha)
 		sim1.Y = append(sim1.Y, agg.MeanSlowdowns[0])
 		sim2.X = append(sim2.X, alpha)
@@ -369,15 +418,21 @@ func Figure12(opts Options) (Figure, error) {
 	sim2 := Series{Name: "Class 2 (simulated)"}
 	exp1 := Series{Name: "Class 1 (expected)"}
 	exp2 := Series{Name: "Class 2 (expected)"}
-	for _, p := range []float64{100, 1000, 10000} {
+	bounds := []float64{100, 1000, 10000}
+	cfgs := make([]simsrv.Config, len(bounds))
+	for pi, p := range bounds {
 		svc, err := dist.NewBoundedPareto(0.1, p, 1.5)
 		if err != nil {
 			return Figure{}, err
 		}
-		agg, err := simsrv.RunReplications(opts.config([]float64{1, 2}, 0.7, svc), opts.Runs)
-		if err != nil {
-			return Figure{}, fmt.Errorf("figure 12 p=%v: %w", p, err)
-		}
+		cfgs[pi] = opts.config([]float64{1, 2}, 0.7, svc)
+	}
+	aggs, err := opts.runGrid(cfgs)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure 12: %w", err)
+	}
+	for pi, p := range bounds {
+		agg := aggs[pi]
 		sim1.X = append(sim1.X, p)
 		sim1.Y = append(sim1.Y, agg.MeanSlowdowns[0])
 		sim2.X = append(sim2.X, p)

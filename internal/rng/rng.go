@@ -34,16 +34,23 @@ func splitmix64(state *uint64) uint64 {
 // yield (with overwhelming probability) uncorrelated streams.
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed re-initializes the Source in place from the given seed, exactly
+// as New would. It lets long-lived simulation arenas re-arm their streams
+// for a new replication without allocating.
+func (r *Source) Reseed(seed uint64) {
 	sm := seed
-	for i := range src.s {
-		src.s[i] = splitmix64(&sm)
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
 	}
 	// xoshiro256** requires a non-zero state; splitmix64 guarantees this
 	// except with negligible probability, but be defensive anyway.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
 }
 
 // Split derives an independent child Source from the parent and a stream
@@ -51,16 +58,24 @@ func New(seed uint64) *Source {
 // from the same parent with distinct ids have reproducible, decoupled
 // streams.
 func (r *Source) Split(id uint64) *Source {
+	var src Source
+	r.SplitInto(&src, id)
+	return &src
+}
+
+// SplitInto is Split writing into a caller-owned Source, for arenas that
+// re-derive their component streams every replication without allocating.
+// dst may be any Source (its previous state is overwritten); splitting
+// into the parent itself is allowed.
+func (r *Source) SplitInto(dst *Source, id uint64) {
 	// Mix the parent state with the id through SplitMix64.
 	sm := r.s[0] ^ (r.s[1] << 1) ^ (r.s[2] << 2) ^ (r.s[3] << 3) ^ (id * 0xd1342543de82ef95)
-	var src Source
-	for i := range src.s {
-		src.s[i] = splitmix64(&sm)
+	for i := range dst.s {
+		dst.s[i] = splitmix64(&sm)
 	}
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -17,7 +17,7 @@ type SmoothWRR struct {
 	classes int
 	weights []float64
 	current []float64
-	queues  []fifo
+	queues  []jobRing
 	backlog int
 }
 
@@ -27,11 +27,9 @@ func NewSmoothWRR(classes int) *SmoothWRR {
 		classes: classes,
 		weights: make([]float64, classes),
 		current: make([]float64, classes),
-		queues:  make([]fifo, classes),
+		queues:  make([]jobRing, classes),
 	}
-	for i := range s.weights {
-		s.weights[i] = 1 / float64(classes)
-	}
+	equalWeights(s.weights)
 	return s
 }
 
@@ -47,19 +45,29 @@ func (s *SmoothWRR) SetWeights(w []float64) error {
 	return nil
 }
 
+// Reset implements Scheduler.
+func (s *SmoothWRR) Reset() {
+	equalWeights(s.weights)
+	for i := range s.queues {
+		s.queues[i].reset()
+		s.current[i] = 0
+	}
+	s.backlog = 0
+}
+
 // Enqueue implements Scheduler.
-func (s *SmoothWRR) Enqueue(j *Job) {
+func (s *SmoothWRR) Enqueue(j Job) {
 	s.queues[j.Class].push(j)
 	s.backlog++
 }
 
 // Dequeue implements Scheduler.
-func (s *SmoothWRR) Dequeue() *Job {
+func (s *SmoothWRR) Dequeue() (Job, bool) {
 	if s.backlog == 0 {
 		for i := range s.current {
 			s.current[i] = 0
 		}
-		return nil
+		return Job{}, false
 	}
 	best := -1
 	totalActive := 0.0
@@ -75,7 +83,7 @@ func (s *SmoothWRR) Dequeue() *Job {
 	}
 	s.current[best] -= totalActive
 	s.backlog--
-	return s.queues[best].pop()
+	return s.queues[best].pop(), true
 }
 
 // Backlog implements Scheduler.
@@ -88,7 +96,7 @@ func (s *SmoothWRR) Backlog() int { return s.backlog }
 type Lottery struct {
 	classes int
 	weights []float64
-	queues  []fifo
+	queues  []jobRing
 	src     *rng.Source
 	backlog int
 }
@@ -99,12 +107,10 @@ func NewLottery(classes int, src *rng.Source) *Lottery {
 	l := &Lottery{
 		classes: classes,
 		weights: make([]float64, classes),
-		queues:  make([]fifo, classes),
+		queues:  make([]jobRing, classes),
 		src:     src,
 	}
-	for i := range l.weights {
-		l.weights[i] = 1 / float64(classes)
-	}
+	equalWeights(l.weights)
 	return l
 }
 
@@ -120,16 +126,27 @@ func (l *Lottery) SetWeights(w []float64) error {
 	return nil
 }
 
+// Reset implements Scheduler. The random stream continues where it left
+// off; construct a fresh Lottery (with a freshly split source) for
+// bit-reproducible replications.
+func (l *Lottery) Reset() {
+	equalWeights(l.weights)
+	for i := range l.queues {
+		l.queues[i].reset()
+	}
+	l.backlog = 0
+}
+
 // Enqueue implements Scheduler.
-func (l *Lottery) Enqueue(j *Job) {
+func (l *Lottery) Enqueue(j Job) {
 	l.queues[j.Class].push(j)
 	l.backlog++
 }
 
 // Dequeue implements Scheduler.
-func (l *Lottery) Dequeue() *Job {
+func (l *Lottery) Dequeue() (Job, bool) {
 	if l.backlog == 0 {
-		return nil
+		return Job{}, false
 	}
 	total := 0.0
 	for i := range l.queues {
@@ -145,17 +162,17 @@ func (l *Lottery) Dequeue() *Job {
 		draw -= l.weights[i]
 		if draw < 0 {
 			l.backlog--
-			return l.queues[i].pop()
+			return l.queues[i].pop(), true
 		}
 	}
 	// Floating-point edge: serve the last backlogged class.
 	for i := l.classes - 1; i >= 0; i-- {
 		if !l.queues[i].empty() {
 			l.backlog--
-			return l.queues[i].pop()
+			return l.queues[i].pop(), true
 		}
 	}
-	return nil
+	return Job{}, false
 }
 
 // Backlog implements Scheduler.
@@ -167,13 +184,13 @@ func (l *Lottery) Backlog() int { return l.backlog }
 // classes under high-priority load.
 type StrictPriority struct {
 	classes int
-	queues  []fifo
+	queues  []jobRing
 	backlog int
 }
 
 // NewStrictPriority builds the scheduler; class 0 is highest priority.
 func NewStrictPriority(classes int) *StrictPriority {
-	return &StrictPriority{classes: classes, queues: make([]fifo, classes)}
+	return &StrictPriority{classes: classes, queues: make([]jobRing, classes)}
 }
 
 // Name implements Scheduler.
@@ -185,21 +202,29 @@ func (s *StrictPriority) SetWeights(w []float64) error {
 	return checkWeights(w, s.classes)
 }
 
+// Reset implements Scheduler.
+func (s *StrictPriority) Reset() {
+	for i := range s.queues {
+		s.queues[i].reset()
+	}
+	s.backlog = 0
+}
+
 // Enqueue implements Scheduler.
-func (s *StrictPriority) Enqueue(j *Job) {
+func (s *StrictPriority) Enqueue(j Job) {
 	s.queues[j.Class].push(j)
 	s.backlog++
 }
 
 // Dequeue implements Scheduler.
-func (s *StrictPriority) Dequeue() *Job {
+func (s *StrictPriority) Dequeue() (Job, bool) {
 	for i := range s.queues {
 		if !s.queues[i].empty() {
 			s.backlog--
-			return s.queues[i].pop()
+			return s.queues[i].pop(), true
 		}
 	}
-	return nil
+	return Job{}, false
 }
 
 // Backlog implements Scheduler.
@@ -209,7 +234,7 @@ func (s *StrictPriority) Backlog() int { return s.backlog }
 // no-differentiation control.
 type GlobalFCFS struct {
 	classes int
-	queue   fifo
+	queue   jobRing
 }
 
 // NewGlobalFCFS builds the scheduler.
@@ -221,15 +246,18 @@ func (g *GlobalFCFS) Name() string { return "fcfs" }
 // SetWeights implements Scheduler (weights are irrelevant).
 func (g *GlobalFCFS) SetWeights(w []float64) error { return checkWeights(w, g.classes) }
 
+// Reset implements Scheduler.
+func (g *GlobalFCFS) Reset() { g.queue.reset() }
+
 // Enqueue implements Scheduler.
-func (g *GlobalFCFS) Enqueue(j *Job) { g.queue.push(j) }
+func (g *GlobalFCFS) Enqueue(j Job) { g.queue.push(j) }
 
 // Dequeue implements Scheduler.
-func (g *GlobalFCFS) Dequeue() *Job {
+func (g *GlobalFCFS) Dequeue() (Job, bool) {
 	if g.queue.empty() {
-		return nil
+		return Job{}, false
 	}
-	return g.queue.pop()
+	return g.queue.pop(), true
 }
 
 // Backlog implements Scheduler.

@@ -26,13 +26,13 @@ func drainShares(t *testing.T, s Scheduler, weights []float64, sizes dist.Distri
 	for i := 0; i < rounds; i++ {
 		for c := 0; c < classes; c++ {
 			for occupancy[c] < 8 {
-				s.Enqueue(&Job{Class: c, Size: sizes.Sample(src)})
+				s.Enqueue(Job{Class: c, Size: sizes.Sample(src)})
 				occupancy[c]++
 			}
 		}
-		j := s.Dequeue()
-		if j == nil {
-			t.Fatal("dequeue returned nil with backlog")
+		j, ok := s.Dequeue()
+		if !ok {
+			t.Fatal("dequeue returned idle with backlog")
 		}
 		occupancy[j.Class]--
 		served[j.Class] += j.Size
@@ -119,11 +119,14 @@ func TestSmoothWRRSizeObliviousness(t *testing.T) {
 	for i := 0; i < 40000; i++ {
 		for c := 0; c < 2; c++ {
 			for occupancy[c] < 8 {
-				s.Enqueue(&Job{Class: c, Size: sizes.Sample(src)})
+				s.Enqueue(Job{Class: c, Size: sizes.Sample(src)})
 				occupancy[c]++
 			}
 		}
-		j := s.Dequeue()
+		j, ok := s.Dequeue()
+		if !ok {
+			t.Fatal("idle with backlog")
+		}
 		occupancy[j.Class]--
 		counts[j.Class]++
 	}
@@ -149,19 +152,19 @@ func TestStrictPriorityOrdering(t *testing.T) {
 	if err := s.SetWeights([]float64{1, 1, 1}); err != nil {
 		t.Fatal(err)
 	}
-	s.Enqueue(&Job{Class: 2, Size: 1})
-	s.Enqueue(&Job{Class: 0, Size: 1})
-	s.Enqueue(&Job{Class: 1, Size: 1})
-	s.Enqueue(&Job{Class: 0, Size: 1})
+	s.Enqueue(Job{Class: 2, Size: 1})
+	s.Enqueue(Job{Class: 0, Size: 1})
+	s.Enqueue(Job{Class: 1, Size: 1})
+	s.Enqueue(Job{Class: 0, Size: 1})
 	want := []int{0, 0, 1, 2}
 	for i, cls := range want {
-		j := s.Dequeue()
-		if j == nil || j.Class != cls {
-			t.Fatalf("dequeue %d: got %+v, want class %d", i, j, cls)
+		j, ok := s.Dequeue()
+		if !ok || j.Class != cls {
+			t.Fatalf("dequeue %d: got %+v ok=%v, want class %d", i, j, ok, cls)
 		}
 	}
-	if s.Dequeue() != nil {
-		t.Fatal("empty scheduler should return nil")
+	if _, ok := s.Dequeue(); ok {
+		t.Fatal("empty scheduler should report idle")
 	}
 }
 
@@ -171,21 +174,27 @@ func TestGlobalFCFSOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		g.Enqueue(&Job{Class: i % 2, Size: 1, Payload: i})
+		g.Enqueue(Job{Class: i % 2, Size: 1, Payload: i})
 	}
 	for i := 0; i < 5; i++ {
-		j := g.Dequeue()
-		if j.Payload.(int) != i {
+		j, ok := g.Dequeue()
+		if !ok || j.Payload.(int) != i {
 			t.Fatalf("FCFS order violated at %d: %v", i, j.Payload)
 		}
 	}
 }
 
+func allSchedulers(classes int) []Scheduler {
+	scheds := []Scheduler{
+		NewSCFQ(classes), NewSmoothWRR(classes), NewLottery(classes, rng.New(1)),
+		NewStrictPriority(classes), NewGlobalFCFS(classes),
+	}
+	d, _ := NewDRR(classes, 1)
+	return append(scheds, d)
+}
+
 func TestWeightValidation(t *testing.T) {
-	scheds := []Scheduler{NewSCFQ(2), NewSmoothWRR(2), NewLottery(2, rng.New(1)), NewStrictPriority(2), NewGlobalFCFS(2)}
-	d, _ := NewDRR(2, 1)
-	scheds = append(scheds, d)
-	for _, s := range scheds {
+	for _, s := range allSchedulers(2) {
 		if err := s.SetWeights([]float64{0.5}); err == nil {
 			t.Errorf("%s: accepted wrong length", s.Name())
 		}
@@ -199,11 +208,8 @@ func TestWeightValidation(t *testing.T) {
 }
 
 func TestEmptyDequeues(t *testing.T) {
-	scheds := []Scheduler{NewSCFQ(2), NewSmoothWRR(2), NewLottery(2, rng.New(1)), NewStrictPriority(2), NewGlobalFCFS(2)}
-	d, _ := NewDRR(2, 1)
-	scheds = append(scheds, d)
-	for _, s := range scheds {
-		if j := s.Dequeue(); j != nil {
+	for _, s := range allSchedulers(2) {
+		if j, ok := s.Dequeue(); ok {
 			t.Errorf("%s: empty dequeue returned %+v", s.Name(), j)
 		}
 		if s.Backlog() != 0 {
@@ -213,26 +219,100 @@ func TestEmptyDequeues(t *testing.T) {
 }
 
 func TestBacklogAccounting(t *testing.T) {
-	scheds := []Scheduler{NewSCFQ(3), NewSmoothWRR(3), NewLottery(3, rng.New(1)), NewStrictPriority(3), NewGlobalFCFS(3)}
-	d, _ := NewDRR(3, 1)
-	scheds = append(scheds, d)
-	for _, s := range scheds {
+	for _, s := range allSchedulers(3) {
 		if err := s.SetWeights([]float64{0.4, 0.3, 0.3}); err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < 9; i++ {
-			s.Enqueue(&Job{Class: i % 3, Size: 0.5})
+			s.Enqueue(Job{Class: i % 3, Size: 0.5})
 		}
 		if s.Backlog() != 9 {
 			t.Errorf("%s: backlog %d, want 9", s.Name(), s.Backlog())
 		}
 		for i := 8; i >= 0; i-- {
-			if s.Dequeue() == nil {
-				t.Fatalf("%s: premature nil at %d remaining", s.Name(), i+1)
+			if _, ok := s.Dequeue(); !ok {
+				t.Fatalf("%s: premature idle at %d remaining", s.Name(), i+1)
 			}
 			if s.Backlog() != i {
 				t.Fatalf("%s: backlog %d, want %d", s.Name(), s.Backlog(), i)
 			}
+		}
+	}
+}
+
+// TestResetRestoresFreshBehavior: after churning jobs through a
+// scheduler, Reset must make it behave exactly like a freshly constructed
+// instance (SCFQ's deterministic disciplines compared dequeue-for-dequeue
+// against a pristine twin on an identical workload).
+func TestResetRestoresFreshBehavior(t *testing.T) {
+	build := map[string]func() Scheduler{
+		"scfq": func() Scheduler { return NewSCFQ(3) },
+		"wrr":  func() Scheduler { return NewSmoothWRR(3) },
+		"drr": func() Scheduler {
+			d, err := NewDRR(3, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"priority": func() Scheduler { return NewStrictPriority(3) },
+		"fcfs":     func() Scheduler { return NewGlobalFCFS(3) },
+	}
+	weights := []float64{0.5, 0.3, 0.2}
+	feed := func(s Scheduler, seed uint64) []int {
+		if err := s.SetWeights(weights); err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(seed)
+		sizes := dist.PaperDefault()
+		var order []int
+		for i := 0; i < 500; i++ {
+			s.Enqueue(Job{Class: i % 3, Size: sizes.Sample(src)})
+			if i%3 == 2 {
+				j, ok := s.Dequeue()
+				if !ok {
+					t.Fatal("idle with backlog")
+				}
+				order = append(order, j.Class)
+			}
+		}
+		for s.Backlog() > 0 {
+			j, _ := s.Dequeue()
+			order = append(order, j.Class)
+		}
+		return order
+	}
+	for name, mk := range build {
+		used := mk()
+		feed(used, 1) // churn with a different stream, then reset
+		used.Reset()
+		got := feed(used, 2)
+		want := feed(mk(), 2)
+		if len(got) != len(want) {
+			t.Fatalf("%s: reset run length %d vs fresh %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: dequeue %d diverged after Reset: class %d vs %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRingDropsPayloadReferences: popped and reset slots must not pin the
+// Payload, or long-lived arenas leak caller context objects.
+func TestRingDropsPayloadReferences(t *testing.T) {
+	var q jobRing
+	q.push(Job{Class: 0, Payload: "x"})
+	q.push(Job{Class: 0, Payload: "y"})
+	q.pop()
+	if q.buf[0].Payload != nil {
+		t.Fatal("pop left payload reference in slot")
+	}
+	q.reset()
+	for i := range q.buf {
+		if q.buf[i].Payload != nil {
+			t.Fatalf("reset left payload reference in slot %d", i)
 		}
 	}
 }
@@ -324,41 +404,39 @@ func TestSCFQTracksGPS(t *testing.T) {
 	if err := s.SetWeights(weights); err != nil {
 		t.Fatal(err)
 	}
-	type pending struct {
-		idx int
-	}
 	finish := make([]float64, len(jobs))
 	clock := 0.0
 	next := 0
 	inFlightUntil := 0.0
-	var cur *Job
-	for next < len(jobs) || s.Backlog() > 0 || cur != nil {
+	cur := -1 // index of the job occupying the server, -1 when idle
+	for next < len(jobs) || s.Backlog() > 0 || cur >= 0 {
 		// Admit arrivals up to the current clock.
-		if cur == nil {
+		if cur < 0 {
 			// Pull arrivals until something is queued.
 			for s.Backlog() == 0 && next < len(jobs) {
 				clock = math.Max(clock, jobs[next].Arrival)
 				for next < len(jobs) && jobs[next].Arrival <= clock {
 					j := jobs[next]
-					s.Enqueue(&Job{Class: j.Class, Size: j.Size, Payload: pending{next}})
+					s.Enqueue(Job{Class: j.Class, Size: j.Size, Payload: next})
 					next++
 				}
 			}
 			if s.Backlog() == 0 {
 				break
 			}
-			cur = s.Dequeue()
-			inFlightUntil = clock + cur.Size
+			j, _ := s.Dequeue()
+			cur = j.Payload.(int)
+			inFlightUntil = clock + j.Size
 		}
 		// Admit arrivals that land while the current job runs.
 		for next < len(jobs) && jobs[next].Arrival <= inFlightUntil {
 			j := jobs[next]
-			s.Enqueue(&Job{Class: j.Class, Size: j.Size, Payload: pending{next}})
+			s.Enqueue(Job{Class: j.Class, Size: j.Size, Payload: next})
 			next++
 		}
 		clock = inFlightUntil
-		finish[cur.Payload.(pending).idx] = clock
-		cur = nil
+		finish[cur] = clock
+		cur = -1
 	}
 
 	lmax := 10.0
@@ -380,8 +458,9 @@ func BenchmarkSCFQEnqueueDequeue(b *testing.B) {
 	_ = s.SetWeights([]float64{0.5, 0.3, 0.2})
 	src := rng.New(1)
 	d := dist.PaperDefault()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s.Enqueue(&Job{Class: i % 3, Size: d.Sample(src)})
+		s.Enqueue(Job{Class: i % 3, Size: d.Sample(src)})
 		if s.Backlog() > 64 {
 			for s.Backlog() > 32 {
 				s.Dequeue()
@@ -395,8 +474,9 @@ func BenchmarkDRRDequeue(b *testing.B) {
 	_ = d.SetWeights([]float64{0.5, 0.3, 0.2})
 	src := rng.New(1)
 	sizes := dist.PaperDefault()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		d.Enqueue(&Job{Class: i % 3, Size: sizes.Sample(src)})
+		d.Enqueue(Job{Class: i % 3, Size: sizes.Sample(src)})
 		if d.Backlog() > 64 {
 			for d.Backlog() > 32 {
 				d.Dequeue()

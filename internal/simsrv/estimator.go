@@ -5,11 +5,17 @@ package simsrv
 // window is the average over the past `history` windows ("the load for
 // next thousand time units was the average load in past five thousand time
 // units").
+//
+// Storage is a single flat ring per metric, indexed [class*history+slot],
+// so the estimator is a value type whose buffers a simulation arena
+// resets and reuses across replications without allocating (and the
+// per-class slots it scans at every reallocation tick sit contiguously).
 type estimator struct {
+	classes int
 	history int
-	// ring buffers, one slot per retained window
-	counts [][]float64 // [class][slot]
-	work   [][]float64
+	// flat ring buffers, history slots per class
+	counts []float64
+	work   []float64
 	// current (open) window accumulators
 	curCount []float64
 	curWork  []float64
@@ -17,19 +23,26 @@ type estimator struct {
 	filled   int // number of valid slots
 }
 
-func newEstimator(classes, history int) *estimator {
-	e := &estimator{
-		history:  history,
-		counts:   make([][]float64, classes),
-		work:     make([][]float64, classes),
-		curCount: make([]float64, classes),
-		curWork:  make([]float64, classes),
+// reset re-dimensions the estimator for the given shape and clears it,
+// reusing buffer capacity when the shape fits.
+func (e *estimator) reset(classes, history int) {
+	e.classes = classes
+	e.history = history
+	n := classes * history
+	e.counts = resizeFloat(e.counts, n)
+	e.work = resizeFloat(e.work, n)
+	e.curCount = resizeFloat(e.curCount, classes)
+	e.curWork = resizeFloat(e.curWork, classes)
+	for i := 0; i < n; i++ {
+		e.counts[i] = 0
+		e.work[i] = 0
 	}
-	for i := range e.counts {
-		e.counts[i] = make([]float64, history)
-		e.work[i] = make([]float64, history)
+	for i := 0; i < classes; i++ {
+		e.curCount[i] = 0
+		e.curWork[i] = 0
 	}
-	return e
+	e.next = 0
+	e.filled = 0
 }
 
 // observe records one arrival of the given size for a class.
@@ -40,9 +53,9 @@ func (e *estimator) observe(class int, size float64) {
 
 // roll closes the current window into the ring.
 func (e *estimator) roll() {
-	for i := range e.counts {
-		e.counts[i][e.next] = e.curCount[i]
-		e.work[i][e.next] = e.curWork[i]
+	for i := 0; i < e.classes; i++ {
+		e.counts[i*e.history+e.next] = e.curCount[i]
+		e.work[i*e.history+e.next] = e.curWork[i]
 		e.curCount[i] = 0
 		e.curWork[i] = 0
 	}
@@ -57,27 +70,28 @@ func (e *estimator) roll() {
 // has closed. The caller-provided dst keeps the per-window reallocation
 // tick allocation-free.
 func (e *estimator) lambdasInto(dst []float64, window float64) {
-	ringInto(dst, e.counts, window, e.filled)
+	e.ringInto(dst, e.counts, window)
 }
 
 // loadsInto fills dst with the estimated per-class offered load (work per
 // time unit) over the retained history.
 func (e *estimator) loadsInto(dst []float64, window float64) {
-	ringInto(dst, e.work, window, e.filled)
+	e.ringInto(dst, e.work, window)
 }
 
-func ringInto(dst []float64, ring [][]float64, window float64, filled int) {
-	if filled == 0 {
+func (e *estimator) ringInto(dst, ring []float64, window float64) {
+	if e.filled == 0 {
 		for i := range dst {
 			dst[i] = 0
 		}
 		return
 	}
-	span := window * float64(filled)
-	for i := range ring {
+	span := window * float64(e.filled)
+	for i := 0; i < e.classes; i++ {
 		sum := 0.0
-		for s := 0; s < filled; s++ {
-			sum += ring[i][s]
+		row := ring[i*e.history : i*e.history+e.filled]
+		for _, v := range row {
+			sum += v
 		}
 		dst[i] = sum / span
 	}

@@ -27,7 +27,8 @@ type PacketizedConfig struct {
 	Config
 	// NewScheduler builds the discipline; it receives the class count
 	// and a dedicated random stream (only Lottery uses it). Defaults to
-	// SCFQ.
+	// SCFQ, in which case the scheduler is retained as part of the
+	// simulation arena across replications.
 	NewScheduler func(classes int, src *rng.Source) sched.Scheduler
 }
 
@@ -44,26 +45,30 @@ type pkClassMetrics struct {
 	slow    stats.Welford
 	delay   stats.Welford
 	svc     stats.Welford
-	windows *stats.WindowSeries
+	windows stats.WindowSeries
 }
 
-// pkRunner wires the packetized model for one replication. Like runner,
-// it is the single des.Handler, so event scheduling itself allocates
-// nothing and sched.Job objects are recycled through a free list. The
-// residual ~0.05 allocs/event in BENCH_psd.json comes from the
-// scheduler's own internals (SCFQ's container/heap boxes an interface
-// per enqueue) — a future sched refactor, not an engine cost.
+// pkRunner wires the packetized model for one replication; it is the
+// packetized half of a Simulator arena. Like runner it is the single
+// des.Handler, so event scheduling allocates nothing; jobs flow through
+// the scheduler by value (SCFQ's tag heap stores them inline), and the
+// allocator runs in place, so the whole mode sits on the same ~zero
+// allocs/event budget as the partitioned model. (The previous engine's
+// ~0.05 allocs/event came from the PacketizedPSD bisection allocating a
+// candidate slice per probe — ~200 per reallocation tick.)
 type pkRunner struct {
-	cfg       Config
-	sim       *des.Simulator
-	scheduler sched.Scheduler
-	est       *estimator
-	workload  core.Workload
-	total     float64
+	cfg         Config
+	sim         des.Simulator
+	scheduler   sched.Scheduler
+	ownSCFQ     *sched.SCFQ // retained default-discipline arena
+	ownSCFQSize int         // class count ownSCFQ was built for
+	est         estimator
+	workload    core.Workload
+	total       float64
 
-	metrics    []*pkClassMetrics
-	arrivalRng []*rng.Source
-	sizeRng    []*rng.Source
+	metrics    []pkClassMetrics
+	arrivalRng []rng.Source
+	sizeRng    []rng.Source
 	services   []distSampler
 
 	busy bool
@@ -75,11 +80,10 @@ type pkRunner struct {
 	curStart   float64
 	curArrival float64
 
-	jobPool []*sched.Job // recycled between Dequeue and Enqueue
-
 	allocClasses []core.Class
 	allocLambdas []float64
 	allocWeights []float64
+	alloc        core.Allocation // reusable allocator result
 	// lastWeights is the most recent weight vector actually installed in
 	// the scheduler (floored), reported as Result.FinalRates.
 	lastWeights []float64
@@ -108,18 +112,9 @@ func (p *pkRunner) scheduleArrival(i int) {
 }
 
 func (p *pkRunner) onArrival(i int) {
-	size := p.services[i].Sample(p.sizeRng[i])
+	size := p.services[i].Sample(&p.sizeRng[i])
 	p.est.observe(i, size)
-	var j *sched.Job
-	if n := len(p.jobPool); n > 0 {
-		j = p.jobPool[n-1]
-		p.jobPool = p.jobPool[:n-1]
-		*j = sched.Job{}
-	} else {
-		j = new(sched.Job)
-	}
-	j.Class, j.Size, j.Arrival = i, size, p.sim.Now()
-	p.scheduler.Enqueue(j)
+	p.scheduler.Enqueue(sched.Job{Class: i, Size: size, Arrival: p.sim.Now()})
 	if !p.busy {
 		p.dispatch()
 	}
@@ -128,14 +123,13 @@ func (p *pkRunner) onArrival(i int) {
 
 // dispatch pulls the scheduler's next choice onto the processor.
 func (p *pkRunner) dispatch() {
-	j := p.scheduler.Dequeue()
-	if j == nil {
+	j, ok := p.scheduler.Dequeue()
+	if !ok {
 		p.busy = false
 		return
 	}
 	p.busy = true
 	p.curClass, p.curSize, p.curStart, p.curArrival = j.Class, j.Size, p.sim.Now(), j.Arrival
-	p.jobPool = append(p.jobPool, j)
 	p.sim.Schedule(j.Size, p, pkDone, 0) // full-speed service
 }
 
@@ -144,7 +138,7 @@ func (p *pkRunner) onDone() {
 	if now >= p.cfg.Warmup {
 		delay := p.curStart - p.curArrival
 		slowdown := delay / p.curSize
-		m := p.metrics[p.curClass]
+		m := &p.metrics[p.curClass]
 		m.slow.Add(slowdown)
 		m.delay.Add(delay)
 		m.svc.Add(p.curSize)
@@ -169,8 +163,8 @@ func (p *pkRunner) onRealloc() {
 		}
 		p.allocClasses[i] = core.Class{Delta: cc.Delta, Lambda: l}
 	}
-	if alloc, err := p.cfg.Allocator.Allocate(p.allocClasses, p.workload); err == nil {
-		positiveFloorInto(p.allocWeights, alloc.Rates, p.cfg.MinRate)
+	if err := core.AllocateInto(p.cfg.Allocator, &p.alloc, p.allocClasses, p.workload); err == nil {
+		positiveFloorInto(p.allocWeights, p.alloc.Rates, p.cfg.MinRate)
 		if err := p.scheduler.SetWeights(p.allocWeights); err == nil {
 			copy(p.lastWeights, p.allocWeights)
 			p.reallocOK++
@@ -185,8 +179,11 @@ func (p *pkRunner) onRealloc() {
 	}
 }
 
-// RunPacketized executes one packetized-server replication.
-func RunPacketized(pc PacketizedConfig) (*Result, error) {
+// reset re-arms the packetized arena for one replication of pc (whose
+// Config.Seed is authoritative). It mirrors runner.reset: all buffers are
+// reused, streams re-derived, and the default SCFQ scheduler's packet
+// heap retained.
+func (p *pkRunner) reset(pc PacketizedConfig) error {
 	cfg := pc.Config.ApplyDefaults()
 	if cfg.Allocator == nil || pc.Config.Allocator == nil {
 		// The fluid default would systematically overshoot here; make
@@ -194,46 +191,78 @@ func RunPacketized(pc PacketizedConfig) (*Result, error) {
 		cfg.Allocator = core.PacketizedPSD{}
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if cfg.WorkConserving {
-		return nil, fmt.Errorf("simsrv: packetized mode is inherently work-conserving; WorkConserving flag is not applicable")
+		return fmt.Errorf("simsrv: packetized mode is inherently work-conserving; WorkConserving flag is not applicable")
 	}
 	w, err := coreWorkload(cfg)
 	if err != nil {
-		return nil, err
-	}
-	mk := pc.NewScheduler
-	if mk == nil {
-		mk = func(classes int, _ *rng.Source) sched.Scheduler { return sched.NewSCFQ(classes) }
+		return err
 	}
 
-	src := rng.New(cfg.Seed)
 	nc := len(cfg.Classes)
-	p := &pkRunner{
-		cfg:          cfg,
-		sim:          des.New(),
-		scheduler:    mk(nc, src.Split(1000)),
-		est:          newEstimator(nc, cfg.HistoryWindows),
-		workload:     w,
-		total:        cfg.Warmup + cfg.Horizon,
-		metrics:      make([]*pkClassMetrics, nc),
-		arrivalRng:   make([]*rng.Source, nc),
-		sizeRng:      make([]*rng.Source, nc),
-		services:     make([]distSampler, nc),
-		allocClasses: make([]core.Class, nc),
-		allocLambdas: make([]float64, nc),
-		allocWeights: make([]float64, nc),
-		lastWeights:  make([]float64, nc),
+	p.cfg = cfg
+	p.workload = w
+	p.total = cfg.Warmup + cfg.Horizon
+	p.sim.Reset()
+	p.busy = false
+	p.curClass, p.curSize, p.curStart, p.curArrival = 0, 0, 0, 0
+	p.reallocOK = 0
+	p.reallocFail = 0
+	p.records = p.records[:0]
+
+	var src rng.Source
+	src.Reseed(cfg.Seed)
+	if pc.NewScheduler != nil {
+		p.scheduler = pc.NewScheduler(nc, src.Split(1000))
+	} else if p.ownSCFQ != nil && p.ownSCFQSize == nc {
+		p.ownSCFQ.Reset()
+		p.scheduler = p.ownSCFQ
+	} else {
+		p.ownSCFQ = sched.NewSCFQ(nc)
+		p.ownSCFQSize = nc
+		p.scheduler = p.ownSCFQ
 	}
+
+	if cap(p.metrics) < nc {
+		old := p.metrics
+		p.metrics = make([]pkClassMetrics, nc)
+		copy(p.metrics, old) // keep retained window buffers
+	} else {
+		p.metrics = p.metrics[:nc]
+	}
+	if cap(p.arrivalRng) < nc {
+		p.arrivalRng = make([]rng.Source, nc)
+		p.sizeRng = make([]rng.Source, nc)
+	} else {
+		p.arrivalRng = p.arrivalRng[:nc]
+		p.sizeRng = p.sizeRng[:nc]
+	}
+	if cap(p.services) < nc {
+		p.services = make([]distSampler, nc)
+	} else {
+		p.services = p.services[:nc]
+	}
+	if cap(p.allocClasses) < nc {
+		p.allocClasses = make([]core.Class, nc)
+	} else {
+		p.allocClasses = p.allocClasses[:nc]
+	}
+	p.allocLambdas = resizeFloat(p.allocLambdas, nc)
+	p.allocWeights = resizeFloat(p.allocWeights, nc)
+	p.lastWeights = resizeFloat(p.lastWeights, nc)
+	p.est.reset(nc, cfg.HistoryWindows)
+
 	for i, cc := range cfg.Classes {
-		ws, err := stats.NewWindowSeries(cfg.Window)
-		if err != nil {
-			return nil, err
-		}
-		p.metrics[i] = &pkClassMetrics{windows: ws}
-		p.arrivalRng[i] = src.Split(uint64(2*i + 1))
-		p.sizeRng[i] = src.Split(uint64(2*i + 2))
+		m := &p.metrics[i]
+		m.slow = stats.Welford{}
+		m.delay = stats.Welford{}
+		m.svc = stats.Welford{}
+		m.windows.Width = cfg.Window
+		m.windows.Reset()
+		src.SplitInto(&p.arrivalRng[i], uint64(2*i+1))
+		src.SplitInto(&p.sizeRng[i], uint64(2*i+2))
 		svc := cc.Service
 		if svc == nil {
 			svc = cfg.Service
@@ -241,53 +270,55 @@ func RunPacketized(pc PacketizedConfig) (*Result, error) {
 		p.services[i] = svc
 	}
 
-	// Initial weights from declared rates (fall back to even split).
-	weights := make([]float64, nc)
-	trueClasses := make([]core.Class, nc)
+	// Initial weights from declared rates (fall back to even split),
+	// floored positive because schedulers reject non-positive weights.
 	for i, cc := range cfg.Classes {
-		trueClasses[i] = core.Class{Delta: cc.Delta, Lambda: cc.Lambda}
+		p.allocClasses[i] = core.Class{Delta: cc.Delta, Lambda: cc.Lambda}
 	}
-	if alloc, err := cfg.Allocator.Allocate(trueClasses, w); err == nil {
-		copy(weights, alloc.Rates)
+	if err := core.AllocateInto(cfg.Allocator, &p.alloc, p.allocClasses, w); err == nil {
+		positiveFloorInto(p.allocWeights, p.alloc.Rates, cfg.MinRate)
 	} else {
-		for i := range weights {
-			weights[i] = 1 / float64(nc)
+		for i := range p.allocWeights {
+			p.allocWeights[i] = 1 / float64(nc)
 		}
 	}
-	positiveFloorInto(p.allocWeights, weights, cfg.MinRate)
 	if err := p.scheduler.SetWeights(p.allocWeights); err != nil {
-		return nil, err
+		return err
 	}
 	copy(p.lastWeights, p.allocWeights)
+	return nil
+}
 
-	for i := range cfg.Classes {
-		p.scheduleArrival(i)
+// collectInto assembles the Result in the same shape as the fluid mode.
+func (p *pkRunner) collectInto(res *Result) {
+	nc := len(p.cfg.Classes)
+	if cap(res.Classes) < nc {
+		res.Classes = make([]ClassStats, nc)
+	} else {
+		res.Classes = res.Classes[:nc]
 	}
-	p.sim.Schedule(cfg.Window, p, pkRealloc, 0)
+	res.ExpectedSlowdowns = resizeFloat(res.ExpectedSlowdowns, nc)
+	res.FinalRates = resizeFloat(res.FinalRates, nc)
+	copy(res.FinalRates, p.lastWeights)
+	res.Reallocations = p.reallocOK
+	res.AllocFailures = p.reallocFail
+	res.EventsProcessed = p.sim.Processed()
+	res.SystemSlowdown = 0
+	p.records, res.Records = res.Records[:0], p.records
 
-	p.sim.RunUntil(p.total)
-
-	// Assemble the Result in the same shape as the fluid mode.
-	res := &Result{
-		Classes:           make([]ClassStats, nc),
-		ExpectedSlowdowns: make([]float64, nc),
-		FinalRates:        p.lastWeights,
-		Reallocations:     p.reallocOK,
-		AllocFailures:     p.reallocFail,
-		EventsProcessed:   p.sim.Processed(),
-		Records:           p.records,
-	}
-	numWindows := int(math.Ceil(cfg.Horizon / cfg.Window))
+	numWindows := int(math.Ceil(p.cfg.Horizon / p.cfg.Window))
 	var sysSlow, sysCount float64
-	for i, m := range p.metrics {
+	for i := range p.metrics {
+		m := &p.metrics[i]
 		st := &res.Classes[i]
 		st.Count = m.slow.N()
+		st.Rejected = 0
 		st.MeanSlowdown = m.slow.Mean()
 		st.StdSlowdown = m.slow.Std()
 		st.MaxSlowdown = m.slow.Max()
 		st.MeanDelay = m.delay.Mean()
 		st.MeanService = m.svc.Mean()
-		st.WindowMeans = make([]float64, numWindows)
+		st.WindowMeans = resizeFloat(st.WindowMeans, numWindows)
 		for wi := 0; wi < numWindows; wi++ {
 			if mean, ok := m.windows.WindowMean(wi); ok {
 				st.WindowMeans[wi] = mean
@@ -303,12 +334,29 @@ func RunPacketized(pc PacketizedConfig) (*Result, error) {
 	if sysCount > 0 {
 		res.SystemSlowdown = sysSlow / sysCount
 	}
-	if alloc, err := cfg.Allocator.Allocate(trueClasses, w); err == nil {
-		copy(res.ExpectedSlowdowns, alloc.ExpectedSlowdowns)
+	for i, cc := range p.cfg.Classes {
+		p.allocClasses[i] = core.Class{Delta: cc.Delta, Lambda: cc.Lambda}
+	}
+	if err := core.AllocateInto(p.cfg.Allocator, &p.alloc, p.allocClasses, p.workload); err == nil {
+		copy(res.ExpectedSlowdowns, p.alloc.ExpectedSlowdowns)
 	} else {
 		for i := range res.ExpectedSlowdowns {
 			res.ExpectedSlowdowns[i] = math.NaN()
 		}
+	}
+}
+
+// RunPacketized executes one packetized-server replication. Batch callers
+// should hold a Simulator and use ResetPacketized to amortize arena
+// construction.
+func RunPacketized(pc PacketizedConfig) (*Result, error) {
+	var s Simulator
+	if err := s.ResetPacketized(pc, pc.Config.Seed); err != nil {
+		return nil, err
+	}
+	res := new(Result)
+	if err := s.RunInto(res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"psd/internal/stats"
 )
@@ -24,7 +23,8 @@ type Aggregate struct {
 	SystemSlowdown float64
 	// RatioSummaries[i] summarizes the pooled per-window achieved
 	// slowdown ratios of class i to class 0 across all runs (entry 0 is
-	// the degenerate self-ratio and is left zero).
+	// the degenerate self-ratio and is left zero). Percentiles are P²
+	// streaming estimates unless the aggregator ran in exact mode.
 	RatioSummaries []stats.Summary
 	// MeanRatios[i] is the across-run mean of (class i mean slowdown /
 	// class 0 mean slowdown), the statistic plotted in Figures 9–10.
@@ -36,11 +36,159 @@ type Aggregate struct {
 	EventsProcessed uint64
 }
 
-// RunReplications executes n independent replications of cfg (seeds
-// cfg.Seed, cfg.Seed+1, …) in parallel across GOMAXPROCS workers and
-// aggregates. Replication results are deterministic per seed, and the
-// aggregation order is fixed, so the Aggregate is reproducible regardless
-// of scheduling.
+// Aggregator folds replication Results into an Aggregate as a stream, in
+// O(classes) space: across-run means via Welford and pooled per-window
+// ratio summaries via P² quantile markers (stats.StreamingSummary). The
+// pre-streaming implementation buffered every window ratio of every run
+// in [][]float64 and sorted the pool at the end — memory linear in
+// runs×windows, which is exactly the batch-vs-streaming trade-off the P²
+// estimator exists for. Because the consumed Result is fully copied into
+// the accumulators, the SAME Result buffer can be recycled for the next
+// replication — the worker/aggregator pipelines in RunReplications and
+// internal/sweep circulate a fixed pool of Results this way.
+//
+// Add must be called in replication order (rep 0, 1, 2, …): the P²
+// markers and Welford accumulators are order-sensitive in the last few
+// floating-point bits, and fixed order is what makes an Aggregate
+// reproducible run-to-run regardless of worker scheduling.
+type Aggregator struct {
+	nc    int
+	runs  int
+	exact bool
+
+	perClass   []stats.Welford
+	ratioMeans []stats.Welford
+	ratios     []stats.StreamingSummary
+	pooled     [][]float64 // exact mode only
+	system     stats.Welford
+	expected   []float64
+	allocFail  int
+	events     uint64
+}
+
+// NewAggregator builds a streaming aggregator for replications of cfg
+// (defaults applied here, so the class count is final).
+func NewAggregator(cfg Config) *Aggregator {
+	cfg = cfg.ApplyDefaults()
+	nc := len(cfg.Classes)
+	a := &Aggregator{
+		nc:         nc,
+		perClass:   make([]stats.Welford, nc),
+		ratioMeans: make([]stats.Welford, nc),
+		ratios:     make([]stats.StreamingSummary, nc),
+		expected:   make([]float64, nc),
+	}
+	for i := range a.ratios {
+		a.ratios[i].Init()
+	}
+	return a
+}
+
+// UseExactQuantiles switches the ratio summaries to the exact batch path:
+// every pooled window ratio is buffered and the percentiles computed by
+// sorting, exactly as the pre-streaming engine did. Golden comparisons
+// and accuracy tests use this; it must be selected before the first Add.
+func (a *Aggregator) UseExactQuantiles() {
+	if a.runs > 0 {
+		panic("simsrv: UseExactQuantiles after Add")
+	}
+	a.exact = true
+	a.pooled = make([][]float64, a.nc)
+}
+
+// Add folds one replication's Result into the aggregate. res must have
+// the aggregator's class count; it is fully consumed and may be reused
+// for the next replication.
+func (a *Aggregator) Add(res *Result) {
+	a.runs++
+	for i := 0; i < a.nc; i++ {
+		if res.Classes[i].Count > 0 {
+			a.perClass[i].Add(res.Classes[i].MeanSlowdown)
+		}
+		if i > 0 {
+			if s0 := res.Classes[0].MeanSlowdown; s0 > 0 && res.Classes[i].Count > 0 {
+				a.ratioMeans[i].Add(res.Classes[i].MeanSlowdown / s0)
+			}
+			// Pool this run's per-window class-i/class-0 ratios,
+			// skipping windows where either class has no completions
+			// (same filter as Result.WindowRatio, without its
+			// allocation).
+			wi, w0 := res.Classes[i].WindowMeans, res.Classes[0].WindowMeans
+			n := len(wi)
+			if len(w0) < n {
+				n = len(w0)
+			}
+			for k := 0; k < n; k++ {
+				x, y := wi[k], w0[k]
+				if math.IsNaN(x) || math.IsNaN(y) || y == 0 {
+					continue
+				}
+				if a.exact {
+					a.pooled[i] = append(a.pooled[i], x/y)
+				} else {
+					a.ratios[i].Add(x / y)
+				}
+			}
+		}
+	}
+	if a.runs == 1 {
+		copy(a.expected, res.ExpectedSlowdowns)
+	}
+	a.system.Add(res.SystemSlowdown)
+	a.allocFail += res.AllocFailures
+	a.events += res.EventsProcessed
+}
+
+// Aggregate finalizes the accumulated replications.
+func (a *Aggregator) Aggregate() (*Aggregate, error) {
+	if a.runs == 0 {
+		return nil, fmt.Errorf("simsrv: aggregate of zero replications")
+	}
+	agg := &Aggregate{
+		Runs:              a.runs,
+		MeanSlowdowns:     make([]float64, a.nc),
+		CI95:              make([]float64, a.nc),
+		ExpectedSlowdowns: make([]float64, a.nc),
+		RatioSummaries:    make([]stats.Summary, a.nc),
+		MeanRatios:        make([]float64, a.nc),
+		SystemSlowdown:    a.system.Mean(),
+		AllocFailures:     a.allocFail,
+		EventsProcessed:   a.events,
+	}
+	for i := 0; i < a.nc; i++ {
+		agg.MeanSlowdowns[i] = a.perClass[i].Mean()
+		agg.CI95[i] = a.perClass[i].ConfidenceInterval(0.95)
+		agg.ExpectedSlowdowns[i] = a.expected[i]
+		if i > 0 {
+			agg.MeanRatios[i] = a.ratioMeans[i].Mean()
+			if a.exact {
+				if len(a.pooled[i]) > 0 {
+					s, err := stats.Summarize(a.pooled[i])
+					if err != nil {
+						return nil, err
+					}
+					agg.RatioSummaries[i] = s
+				}
+			} else if a.ratios[i].N() > 0 {
+				agg.RatioSummaries[i] = a.ratios[i].Summary()
+			}
+		}
+	}
+	return agg, nil
+}
+
+// RunReplications executes n independent replications of cfg in parallel
+// across GOMAXPROCS workers and aggregates them. Each worker owns one
+// reusable Simulator arena; finished Results circulate through a small
+// recycled pool and are folded into a streaming Aggregator in strict
+// replication order, so the Aggregate is reproducible regardless of
+// scheduling and the memory footprint is O(workers), not O(n).
+// Replication seeds derive from cfg.Seed via ReplicationSeed.
+//
+// NOTE: the jobs/out/recycle/reorder pipeline below is intentionally the
+// same shape as internal/sweep's multi-point engine (which cannot be
+// reused here — sweep imports simsrv). When changing pool sizing, error
+// ordering or channel structure, change sweep.Engine.Run in lockstep.
 func RunReplications(cfg Config, n int) (*Aggregate, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("simsrv: need at least 1 replication, got %d", n)
@@ -50,85 +198,90 @@ func RunReplications(cfg Config, n int) (*Aggregate, error) {
 		return nil, err
 	}
 
-	results := make([]*Result, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
+	agg := NewAggregator(cfg)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	if workers == 1 {
+		// Sequential fast path: one arena, one Result, zero goroutines.
+		var sim Simulator
+		var res Result
+		for rep := 0; rep < n; rep++ {
+			if err := sim.Reset(cfg, ReplicationSeed(cfg.Seed, rep)); err != nil {
+				return nil, err
+			}
+			if err := sim.RunInto(&res); err != nil {
+				return nil, err
+			}
+			agg.Add(&res)
+		}
+		return agg.Aggregate()
+	}
+
+	type done struct {
+		rep int
+		res *Result
+		err error
+	}
+	poolSize := 2 * workers
 	jobs := make(chan int)
+	// out is sized for every pooled Result, so worker sends never block
+	// and the in-order consumer below can never deadlock the pipeline.
+	out := make(chan done, poolSize)
+	recycle := make(chan *Result, poolSize)
+	for i := 0; i < poolSize; i++ {
+		recycle <- new(Result)
+	}
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				c := cfg
-				c.Seed = cfg.Seed + uint64(idx)
-				results[idx], errs[idx] = Run(c)
+			var sim Simulator
+			for rep := range jobs {
+				res := <-recycle
+				err := sim.Reset(cfg, ReplicationSeed(cfg.Seed, rep))
+				if err == nil {
+					err = sim.RunInto(res)
+				}
+				out <- done{rep: rep, res: res, err: err}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	go func() {
+		for rep := 0; rep < n; rep++ {
+			jobs <- rep
 		}
-	}
-	return aggregate(cfg, results)
-}
+		close(jobs)
+	}()
 
-func aggregate(cfg Config, results []*Result) (*Aggregate, error) {
-	nc := len(cfg.Classes)
-	agg := &Aggregate{
-		Runs:              len(results),
-		MeanSlowdowns:     make([]float64, nc),
-		CI95:              make([]float64, nc),
-		ExpectedSlowdowns: make([]float64, nc),
-		RatioSummaries:    make([]stats.Summary, nc),
-		MeanRatios:        make([]float64, nc),
-	}
-	perClass := make([]stats.Welford, nc)
-	ratioMeans := make([]stats.Welford, nc)
-	pooledRatios := make([][]float64, nc)
-	var system stats.Welford
-	for _, res := range results {
-		for i := 0; i < nc; i++ {
-			if res.Classes[i].Count > 0 {
-				perClass[i].Add(res.Classes[i].MeanSlowdown)
+	// Consume in replication order through a reorder buffer; the first
+	// error in replication order wins (deterministically).
+	pending := make(map[int]done, workers)
+	next := 0
+	var firstErr error
+	for received := 0; received < n; received++ {
+		d := <-out
+		pending[d.rep] = d
+		for {
+			nd, ok := pending[next]
+			if !ok {
+				break
 			}
-			if i > 0 {
-				if s0 := res.Classes[0].MeanSlowdown; s0 > 0 && res.Classes[i].Count > 0 {
-					ratioMeans[i].Add(res.Classes[i].MeanSlowdown / s0)
+			delete(pending, next)
+			if firstErr == nil {
+				if nd.err != nil {
+					firstErr = nd.err
+				} else {
+					agg.Add(nd.res)
 				}
-				pooledRatios[i] = append(pooledRatios[i], res.WindowRatio(i, 0)...)
 			}
-		}
-		system.Add(res.SystemSlowdown)
-		agg.AllocFailures += res.AllocFailures
-		agg.EventsProcessed += res.EventsProcessed
-	}
-	for i := 0; i < nc; i++ {
-		agg.MeanSlowdowns[i] = perClass[i].Mean()
-		agg.CI95[i] = perClass[i].ConfidenceInterval(0.95)
-		agg.ExpectedSlowdowns[i] = results[0].ExpectedSlowdowns[i]
-		if i > 0 {
-			agg.MeanRatios[i] = ratioMeans[i].Mean()
-			if len(pooledRatios[i]) > 0 {
-				s, err := stats.Summarize(pooledRatios[i])
-				if err != nil {
-					return nil, err
-				}
-				agg.RatioSummaries[i] = s
-			}
+			recycle <- nd.res
+			next++
 		}
 	}
-	agg.SystemSlowdown = system.Mean()
-	return agg, nil
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return agg.Aggregate()
 }
 
 // ExpectedSystemSlowdown returns the arrival-weighted Eq. 18 prediction

@@ -12,6 +12,14 @@
 // the simulator warms up for Warmup time units and then measures for
 // Horizon time units; per-class slowdown is also aggregated per Window for
 // the predictability analysis (Figures 5–8).
+//
+// The execution engine is arena-based: a Simulator owns every buffer a
+// replication needs (event heap, request rings, estimator ring, per-class
+// statistics, allocator scratch, the packetized scheduler) and replays
+// them across replications via Reset+RunInto with single-digit heap
+// allocations per run. Run, RunTrace, RunPacketized and RunReplications
+// are conveniences over that arena; internal/sweep shards whole scenario
+// grids over a pool of them.
 package simsrv
 
 import (
@@ -198,7 +206,9 @@ type ClassStats struct {
 	WindowMeans []float64
 }
 
-// Result is the outcome of one replication.
+// Result is the outcome of one replication. A Result is a reusable
+// buffer: RunInto overwrites every field, reusing slice capacity, so one
+// Result can absorb thousands of replications without reallocating.
 type Result struct {
 	Classes []ClassStats
 	// SystemSlowdown is the arrival-weighted mean slowdown across
@@ -252,7 +262,8 @@ type request struct {
 
 // reqQueue is a growable power-of-two ring buffer of request values.
 // Steady-state push/pop never allocates; the buffer only grows while a
-// queue reaches a new high-water mark.
+// queue reaches a new high-water mark, and the capacity is retained
+// across replication resets.
 type reqQueue struct {
 	buf  []request
 	head int
@@ -260,6 +271,11 @@ type reqQueue struct {
 }
 
 func (q *reqQueue) len() int { return q.n }
+
+func (q *reqQueue) reset() {
+	q.head = 0
+	q.n = 0
+}
 
 func (q *reqQueue) push(r request) {
 	if q.n == len(q.buf) {
@@ -290,14 +306,15 @@ func (q *reqQueue) grow() {
 }
 
 // classState is one task server plus its queue, generator streams and
-// metrics.
+// metrics. Class states live by value in the runner's arena; every
+// per-class buffer (queue ring, window series) is retained across resets.
 type classState struct {
 	idx     int32 // own index, the des event payload for this class
 	cfg     ClassConfig
 	service dist.Distribution
 
-	arrivalRng *rng.Source
-	sizeRng    *rng.Source
+	arrivalRng rng.Source
+	sizeRng    rng.Source
 
 	queue   reqQueue
 	current request
@@ -312,7 +329,7 @@ type classState struct {
 	slow    stats.Welford
 	delay   stats.Welford
 	svc     stats.Welford
-	windows *stats.WindowSeries
+	windows stats.WindowSeries
 	// winSlow accumulates the current reallocation window's slowdowns
 	// (including warmup) as the feedback controller's input; reset at
 	// every reallocation tick.
@@ -333,16 +350,17 @@ const (
 
 // runner wires the model together for one replication. It is the single
 // des.Handler for all event kinds, so scheduling an event costs no
-// allocation (the old design captured one closure per event).
+// allocation, and every buffer it owns survives reset() — a runner is the
+// fluid/trace half of a Simulator arena.
 type runner struct {
 	cfg      Config
-	sim      *des.Simulator
-	classes  []*classState
+	sim      des.Simulator
+	classes  []classState
 	workload core.Workload
-	est      *estimator
+	est      estimator
 	ctrl     *control.RatioController // nil unless cfg.Feedback
 	total    float64                  // warmup + horizon
-	trace    []TraceRequest           // non-nil only in RunTrace mode
+	trace    []TraceRequest           // non-nil only in trace mode
 
 	// Reallocation scratch, reused every window tick.
 	allocDeltas   []float64
@@ -350,6 +368,7 @@ type runner struct {
 	allocLambdas  []float64
 	allocLoads    []float64
 	allocClasses  []core.Class
+	alloc         core.Allocation // reusable allocator result
 
 	reallocOK   int
 	reallocFail int
@@ -365,7 +384,7 @@ func (r *runner) HandleEvent(kind, data int32) {
 	case evArrival:
 		r.onArrival(int(data))
 	case evCompletion:
-		cs := r.classes[data]
+		cs := &r.classes[data]
 		cs.completion = des.None
 		r.finishService(cs)
 	case evRealloc:
@@ -380,50 +399,88 @@ func coreWorkload(cfg Config) (core.Workload, error) {
 	return core.WorkloadFromDist(cfg.Service)
 }
 
-// newRunner builds the wired model with initial rates applied; the caller
-// attaches an arrival source (Poisson generators or a trace) and runs.
-func newRunner(cfg Config, w core.Workload) (*runner, error) {
-	r := &runner{
-		cfg:      cfg,
-		sim:      des.New(),
-		workload: w,
-		total:    cfg.Warmup + cfg.Horizon,
+// resizeFloat returns a length-n float slice reusing s's capacity.
+// Contents are unspecified; callers overwrite every element.
+func resizeFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
-	src := rng.New(cfg.Seed)
-	r.classes = make([]*classState, len(cfg.Classes))
-	for i, cc := range cfg.Classes {
+	return s[:n]
+}
+
+// reset re-arms the runner for one replication of cfg (already defaulted
+// and validated) with the given workload moments, reusing every retained
+// buffer. A reset runner is observationally identical to a freshly
+// constructed one: the RNG streams are re-derived from cfg.Seed and the
+// event core restarts its sequence numbering, so seeded replications stay
+// bit-for-bit reproducible across arena reuse.
+func (r *runner) reset(cfg Config, w core.Workload) error {
+	r.cfg = cfg
+	r.workload = w
+	r.total = cfg.Warmup + cfg.Horizon
+	r.trace = nil
+	r.sim.Reset()
+	r.reallocOK = 0
+	r.reallocFail = 0
+	r.records = r.records[:0]
+
+	nc := len(cfg.Classes)
+	if cap(r.classes) < nc {
+		old := r.classes
+		r.classes = make([]classState, nc)
+		copy(r.classes, old) // keep the retained queue/window buffers
+	} else {
+		r.classes = r.classes[:nc]
+	}
+	var src rng.Source
+	src.Reseed(cfg.Seed)
+	for i := range r.classes {
+		cs := &r.classes[i]
+		cc := cfg.Classes[i]
 		svc := cc.Service
 		if svc == nil {
 			svc = cfg.Service
 		}
-		ws, err := stats.NewWindowSeries(cfg.Window)
-		if err != nil {
-			return nil, err
-		}
-		r.classes[i] = &classState{
-			idx:        int32(i),
-			cfg:        cc,
-			service:    svc,
-			arrivalRng: src.Split(uint64(2*i + 1)),
-			sizeRng:    src.Split(uint64(2*i + 2)),
-			windows:    ws,
-		}
+		cs.idx = int32(i)
+		cs.cfg = cc
+		cs.service = svc
+		src.SplitInto(&cs.arrivalRng, uint64(2*i+1))
+		src.SplitInto(&cs.sizeRng, uint64(2*i+2))
+		cs.queue.reset()
+		cs.current = request{}
+		cs.busy = false
+		cs.rate = 0
+		cs.effRate = 0
+		cs.remaining = 0
+		cs.lastSync = 0
+		cs.completion = des.None
+		cs.slow = stats.Welford{}
+		cs.delay = stats.Welford{}
+		cs.svc = stats.Welford{}
+		cs.winSlow = stats.Welford{}
+		cs.windows.Width = cfg.Window
+		cs.windows.Reset()
+		cs.rejected = 0
 	}
-	nc := len(cfg.Classes)
-	r.allocDeltas = make([]float64, nc)
-	r.allocMeasured = make([]float64, nc)
-	r.allocLambdas = make([]float64, nc)
-	r.allocLoads = make([]float64, nc)
-	r.allocClasses = make([]core.Class, nc)
-	r.est = newEstimator(nc, cfg.HistoryWindows)
+	r.allocDeltas = resizeFloat(r.allocDeltas, nc)
+	r.allocMeasured = resizeFloat(r.allocMeasured, nc)
+	r.allocLambdas = resizeFloat(r.allocLambdas, nc)
+	r.allocLoads = resizeFloat(r.allocLoads, nc)
+	if cap(r.allocClasses) < nc {
+		r.allocClasses = make([]core.Class, nc)
+	} else {
+		r.allocClasses = r.allocClasses[:nc]
+	}
+	r.est.reset(nc, cfg.HistoryWindows)
+	r.ctrl = nil
 	if cfg.Feedback {
-		deltas := make([]float64, len(cfg.Classes))
+		deltas := make([]float64, nc)
 		for i, cc := range cfg.Classes {
 			deltas[i] = cc.Delta
 		}
 		ctrl, err := control.NewRatioController(deltas, cfg.FeedbackGain, 8)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.ctrl = ctrl
 	}
@@ -433,50 +490,26 @@ func newRunner(cfg Config, w core.Workload) (*runner, error) {
 	// drive reallocation. Any error (e.g. declared overload or all-zero
 	// lambdas) falls back to an equal split — the warmup discards the
 	// transient either way.
-	if alloc, err := cfg.Allocator.Allocate(r.trueClasses(), r.allocWorkload()); err == nil {
-		r.applyRates(alloc.Rates)
+	if err := core.AllocateInto(cfg.Allocator, &r.alloc, r.trueClassesInto(), r.workload); err == nil {
+		r.applyRates(r.alloc.Rates)
 	} else {
-		even := make([]float64, len(r.classes))
+		even := r.allocLambdas // scratch; overwritten at the first tick
 		for i := range even {
-			even[i] = 1 / float64(len(even))
+			even[i] = 1 / float64(nc)
 		}
 		r.applyRates(even)
 	}
-	return r, nil
+	return nil
 }
 
-// Run executes one replication and returns its Result.
-func Run(cfg Config) (*Result, error) {
-	cfg = cfg.ApplyDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	w, err := coreWorkload(cfg)
-	if err != nil {
-		return nil, err
-	}
-	r, err := newRunner(cfg, w)
-	if err != nil {
-		return nil, err
-	}
-	// Start the per-class arrival processes.
+// trueClassesInto exposes the configured (true) demand to the allocator
+// via the reusable allocClasses scratch.
+func (r *runner) trueClassesInto() []core.Class {
 	for i := range r.classes {
-		r.scheduleNextArrival(i)
+		cs := &r.classes[i]
+		r.allocClasses[i] = core.Class{Delta: cs.cfg.Delta, Lambda: cs.cfg.Lambda}
 	}
-	// Reallocation ticks at every window boundary.
-	r.scheduleReallocation()
-
-	r.sim.RunUntil(r.total)
-	return r.collect(), nil
-}
-
-// trueClasses exposes the configured (true) demand to the allocator.
-func (r *runner) trueClasses() []core.Class {
-	out := make([]core.Class, len(r.classes))
-	for i, cs := range r.classes {
-		out[i] = core.Class{Delta: cs.cfg.Delta, Lambda: cs.cfg.Lambda}
-	}
-	return out
+	return r.allocClasses
 }
 
 // allocWorkload returns the moment set given to the allocator. With
@@ -486,7 +519,7 @@ func (r *runner) trueClasses() []core.Class {
 func (r *runner) allocWorkload() core.Workload { return r.workload }
 
 func (r *runner) scheduleNextArrival(i int) {
-	cs := r.classes[i]
+	cs := &r.classes[i]
 	if cs.cfg.Lambda <= 0 {
 		return
 	}
@@ -498,9 +531,9 @@ func (r *runner) scheduleNextArrival(i int) {
 // the admission gate, enqueue, possibly start service, and schedule the
 // next arrival of the class.
 func (r *runner) onArrival(i int) {
-	cs := r.classes[i]
+	cs := &r.classes[i]
 	now := r.sim.Now()
-	size := cs.service.Sample(cs.sizeRng)
+	size := cs.service.Sample(&cs.sizeRng)
 	if r.cfg.Admission != nil && !r.cfg.Admission.Admit(i, size, now) {
 		cs.rejected++
 		r.scheduleNextArrival(i)
@@ -599,7 +632,8 @@ func (r *runner) finishService(cs *classState) {
 // applyRates installs a new nominal rate vector, flooring backlogged
 // classes at MinRate, and reschedules all in-flight completions.
 func (r *runner) applyRates(rates []float64) {
-	for i, cs := range r.classes {
+	for i := range r.classes {
+		cs := &r.classes[i]
 		r.syncRemaining(cs)
 		rate := rates[i]
 		if rate < r.cfg.MinRate && (cs.busy || cs.queue.len() > 0) {
@@ -616,7 +650,8 @@ func (r *runner) applyRates(rates []float64) {
 // busy classes in proportion to their nominal rates.
 func (r *runner) recomputeEffectiveRates() {
 	if !r.cfg.WorkConserving {
-		for _, cs := range r.classes {
+		for i := range r.classes {
+			cs := &r.classes[i]
 			r.syncRemaining(cs)
 			if cs.effRate != cs.rate {
 				cs.effRate = cs.rate
@@ -627,13 +662,15 @@ func (r *runner) recomputeEffectiveRates() {
 	}
 	busyRate := 0.0
 	numBusy := 0
-	for _, cs := range r.classes {
+	for i := range r.classes {
+		cs := &r.classes[i]
 		if cs.busy {
 			busyRate += cs.rate
 			numBusy++
 		}
 	}
-	for _, cs := range r.classes {
+	for i := range r.classes {
+		cs := &r.classes[i]
 		r.syncRemaining(cs)
 		switch {
 		case !cs.busy:
@@ -653,20 +690,21 @@ func (r *runner) scheduleReallocation() {
 }
 
 // onRealloc closes the estimation window, consults the allocator and
-// installs the new rates. All slices are preallocated scratch — a window
-// tick performs no steady-state allocation beyond the allocator's own
-// result vector.
+// installs the new rates. All slices are preallocated scratch and the
+// allocator runs through core.AllocateInto into a reusable Allocation, so
+// a window tick performs no steady-state allocation at all.
 func (r *runner) onRealloc() {
 	r.est.roll()
 	deltas := r.allocDeltas
-	for i, cs := range r.classes {
-		deltas[i] = cs.cfg.Delta
+	for i := range r.classes {
+		deltas[i] = r.classes[i].cfg.Delta
 	}
 	if r.ctrl != nil {
 		// Feed the controller this window's measured slowdowns and
 		// let it trim the effective deltas.
 		measured := r.allocMeasured
-		for i, cs := range r.classes {
+		for i := range r.classes {
+			cs := &r.classes[i]
 			if cs.winSlow.N() > 0 {
 				measured[i] = cs.winSlow.Mean()
 			} else {
@@ -687,15 +725,16 @@ func (r *runner) onRealloc() {
 			lambdas[i] = loads[i] / r.workload.MeanSize
 		}
 	}
-	for i, cs := range r.classes {
+	for i := range r.classes {
+		cs := &r.classes[i]
 		l := lambdas[i]
 		if r.cfg.Oracle {
 			l = cs.cfg.Lambda
 		}
 		classes[i] = core.Class{Delta: deltas[i], Lambda: l}
 	}
-	if alloc, err := r.cfg.Allocator.Allocate(classes, r.allocWorkload()); err == nil {
-		r.applyRates(alloc.Rates)
+	if err := core.AllocateInto(r.cfg.Allocator, &r.alloc, classes, r.allocWorkload()); err == nil {
+		r.applyRates(r.alloc.Rates)
 		r.reallocOK++
 	} else {
 		// Transient estimate infeasibility (ρ̂ ≥ 1 at very high
@@ -707,20 +746,28 @@ func (r *runner) onRealloc() {
 	}
 }
 
-// collect assembles the Result.
-func (r *runner) collect() *Result {
-	res := &Result{
-		Classes:           make([]ClassStats, len(r.classes)),
-		ExpectedSlowdowns: make([]float64, len(r.classes)),
-		FinalRates:        make([]float64, len(r.classes)),
-		Reallocations:     r.reallocOK,
-		AllocFailures:     r.reallocFail,
-		EventsProcessed:   r.sim.Processed(),
-		Records:           r.records,
+// collectInto assembles the Result, reusing res's slice capacity.
+func (r *runner) collectInto(res *Result) {
+	nc := len(r.classes)
+	if cap(res.Classes) < nc {
+		res.Classes = make([]ClassStats, nc)
+	} else {
+		res.Classes = res.Classes[:nc]
 	}
+	res.ExpectedSlowdowns = resizeFloat(res.ExpectedSlowdowns, nc)
+	res.FinalRates = resizeFloat(res.FinalRates, nc)
+	res.Reallocations = r.reallocOK
+	res.AllocFailures = r.reallocFail
+	res.EventsProcessed = r.sim.Processed()
+	res.SystemSlowdown = 0
+	// Hand the accumulated records to the Result and adopt its buffer
+	// for the next replication (ping-pong, so neither side reallocates).
+	r.records, res.Records = res.Records[:0], r.records
+
 	numWindows := int(math.Ceil(r.cfg.Horizon / r.cfg.Window))
 	var sysSlow, sysCount float64
-	for i, cs := range r.classes {
+	for i := range r.classes {
+		cs := &r.classes[i]
 		st := &res.Classes[i]
 		st.Count = cs.slow.N()
 		st.Rejected = cs.rejected
@@ -729,7 +776,7 @@ func (r *runner) collect() *Result {
 		st.MaxSlowdown = cs.slow.Max()
 		st.MeanDelay = cs.delay.Mean()
 		st.MeanService = cs.svc.Mean()
-		st.WindowMeans = make([]float64, numWindows)
+		st.WindowMeans = resizeFloat(st.WindowMeans, numWindows)
 		for wi := 0; wi < numWindows; wi++ {
 			if m, ok := cs.windows.WindowMean(wi); ok {
 				st.WindowMeans[wi] = m
@@ -748,12 +795,11 @@ func (r *runner) collect() *Result {
 	}
 	// Model predictions under true demand (Eq. 18 when PSD; otherwise
 	// Theorem 1 at the allocator's own rates under true demand).
-	if alloc, err := r.cfg.Allocator.Allocate(r.trueClasses(), r.workload); err == nil {
-		copy(res.ExpectedSlowdowns, alloc.ExpectedSlowdowns)
+	if err := core.AllocateInto(r.cfg.Allocator, &r.alloc, r.trueClassesInto(), r.workload); err == nil {
+		copy(res.ExpectedSlowdowns, r.alloc.ExpectedSlowdowns)
 	} else {
 		for i := range res.ExpectedSlowdowns {
 			res.ExpectedSlowdowns[i] = math.NaN()
 		}
 	}
-	return res
 }

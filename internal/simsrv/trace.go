@@ -15,6 +15,32 @@ type TraceRequest struct {
 	Size  float64
 }
 
+// validateTrace checks a trace against an (already defaulted) config:
+// time-sorted, in-range classes, positive sizes.
+func validateTrace(cfg Config, trace []TraceRequest) error {
+	if len(trace) == 0 {
+		return fmt.Errorf("simsrv: empty trace")
+	}
+	if len(trace) > math.MaxInt32 {
+		return fmt.Errorf("simsrv: trace too long (%d entries)", len(trace))
+	}
+	if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].Time < trace[j].Time }) {
+		return fmt.Errorf("simsrv: trace not time-sorted")
+	}
+	for i, tr := range trace {
+		if tr.Class < 0 || tr.Class >= len(cfg.Classes) {
+			return fmt.Errorf("simsrv: trace[%d] class %d out of range", i, tr.Class)
+		}
+		if !(tr.Size > 0) {
+			return fmt.Errorf("simsrv: trace[%d] size %v must be positive", i, tr.Size)
+		}
+		if tr.Time < 0 {
+			return fmt.Errorf("simsrv: trace[%d] time %v negative", i, tr.Time)
+		}
+	}
+	return nil
+}
+
 // RunTrace replays a fixed arrival trace through the server model instead
 // of the Poisson generators. The Config's class Lambdas are ignored for
 // arrival generation but still seed the initial allocation (set them to
@@ -23,47 +49,19 @@ type TraceRequest struct {
 // over exactly as in the Poisson mode.
 //
 // Requests arriving after Warmup+Horizon are ignored. The trace must be
-// time-sorted with in-range classes and positive sizes.
+// time-sorted with in-range classes and positive sizes. Batch callers
+// replaying one trace many times should hold a Simulator and use
+// ResetTrace to amortize arena construction.
 func RunTrace(cfg Config, trace []TraceRequest) (*Result, error) {
-	cfg = cfg.ApplyDefaults()
-	if err := cfg.Validate(); err != nil {
+	var s Simulator
+	if err := s.ResetTrace(cfg, trace, cfg.Seed); err != nil {
 		return nil, err
 	}
-	if len(trace) == 0 {
-		return nil, fmt.Errorf("simsrv: empty trace")
-	}
-	if len(trace) > math.MaxInt32 {
-		return nil, fmt.Errorf("simsrv: trace too long (%d entries)", len(trace))
-	}
-	if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].Time < trace[j].Time }) {
-		return nil, fmt.Errorf("simsrv: trace not time-sorted")
-	}
-	for i, tr := range trace {
-		if tr.Class < 0 || tr.Class >= len(cfg.Classes) {
-			return nil, fmt.Errorf("simsrv: trace[%d] class %d out of range", i, tr.Class)
-		}
-		if !(tr.Size > 0) {
-			return nil, fmt.Errorf("simsrv: trace[%d] size %v must be positive", i, tr.Size)
-		}
-		if tr.Time < 0 {
-			return nil, fmt.Errorf("simsrv: trace[%d] time %v negative", i, tr.Time)
-		}
-	}
-
-	w, err := coreWorkload(cfg)
-	if err != nil {
+	res := new(Result)
+	if err := s.RunInto(res); err != nil {
 		return nil, err
 	}
-	r, err := newRunner(cfg, w)
-	if err != nil {
-		return nil, err
-	}
-
-	r.trace = trace
-	r.scheduleTrace(0)
-	r.scheduleReallocation()
-	r.sim.RunUntil(r.total)
-	return r.collect(), nil
+	return res, nil
 }
 
 // scheduleTrace chains trace arrivals one at a time (each fired arrival
@@ -80,7 +78,7 @@ func (r *runner) scheduleTrace(idx int) {
 // the next entry.
 func (r *runner) onTraceArrival(idx int) {
 	tr := r.trace[idx]
-	cs := r.classes[tr.Class]
+	cs := &r.classes[tr.Class]
 	r.est.observe(tr.Class, tr.Size)
 	cs.queue.push(request{class: tr.Class, size: tr.Size, arrival: tr.Time})
 	if !cs.busy {

@@ -135,6 +135,14 @@ func NewWindowSeries(width float64) (*WindowSeries, error) {
 	return &WindowSeries{Width: width}, nil
 }
 
+// Reset clears all windows while retaining both the width and the
+// accumulated bucket capacity, so a reused series observes a fresh run
+// without reallocating.
+func (s *WindowSeries) Reset() {
+	s.sums = s.sums[:0]
+	s.counts = s.counts[:0]
+}
+
 // Observe records value v at time t (t ≥ 0).
 func (s *WindowSeries) Observe(t, v float64) {
 	if t < 0 {

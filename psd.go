@@ -6,6 +6,7 @@ import (
 	"psd/internal/figures"
 	"psd/internal/queueing"
 	"psd/internal/simsrv"
+	"psd/internal/sweep"
 )
 
 // Re-exported core types: see the respective internal packages for full
@@ -35,6 +36,10 @@ type (
 	Figure = figures.Figure
 	// FigureOptions sets figure fidelity (runs, horizon, loads).
 	FigureOptions = figures.Options
+	// SweepPoint is one scenario grid point (config + replication count).
+	SweepPoint = sweep.Point
+	// SweepEngine runs scenario grids over a pool of reusable arenas.
+	SweepEngine = sweep.Engine
 )
 
 // NewBoundedPareto constructs BP(k, p, α); the paper's default is
@@ -66,11 +71,23 @@ func ExpectedSlowdown(lambda float64, d Distribution, rate float64) (float64, er
 // Simulate runs one replication of the paper's simulation model.
 func Simulate(cfg SimConfig) (*SimResult, error) { return simsrv.Run(cfg) }
 
-// SimulateN runs n independent replications in parallel and aggregates
-// them (the paper reports averages of 100 runs).
+// SimulateN runs n independent replications and aggregates them (the
+// paper reports averages of 100 runs). It is a one-point sweep: the
+// replications share a worker pool of reusable simulation arenas and
+// stream into the aggregate in replication order.
 func SimulateN(cfg SimConfig, n int) (*SimAggregate, error) {
-	return simsrv.RunReplications(cfg, n)
+	aggs, err := sweep.Run([]sweep.Point{{Cfg: cfg, Runs: n}})
+	if err != nil {
+		return nil, err
+	}
+	return aggs[0], nil
 }
+
+// Sweep executes a whole scenario grid — the unit a figure or a capacity
+// study actually runs — across a fixed pool of reusable simulation
+// arenas, returning one aggregate per point in order. See internal/sweep
+// for the engine's scheduling and determinism guarantees.
+func Sweep(points []SweepPoint) ([]*SimAggregate, error) { return sweep.Run(points) }
 
 // EqualLoadSimConfig builds the paper's standard scenario: classes with
 // the given δ values at equal per-class load summing to utilization rho.
