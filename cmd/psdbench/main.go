@@ -20,13 +20,15 @@
 //	psdbench -compare BENCH_psd.json -compare-tolerance 0.30
 //
 // In -compare mode the tool exits non-zero when any scenario's
-// events_per_sec (or replications/sec) falls more than the tolerance
-// below the baseline, or when any absolute allocation gate is breached:
-// event-driven scenarios must stay under 0.01 allocs/event and the
-// figure sweep under 25 allocs/replication. The allocation gates are
-// machine-independent; the throughput comparison is only meaningful
-// against a baseline from comparable hardware, so CI pairs a generous
-// tolerance with the exact allocation gates.
+// events_per_sec (or replications/sec, or ticks/sec) falls more than the
+// tolerance below the baseline, or when any absolute allocation gate is
+// breached: event-driven scenarios must stay under 0.01 allocs/event,
+// the figure sweep under 25 allocs/replication, and the control-tick
+// scenario (the shared control.Loop in isolation) under 0.01
+// allocs/tick. The allocation gates are machine-independent; the
+// throughput comparison is only meaningful against a baseline from
+// comparable hardware, so CI pairs a generous tolerance with the exact
+// allocation gates.
 package main
 
 import (
@@ -37,6 +39,9 @@ import (
 	"runtime"
 	"time"
 
+	"psd/internal/control"
+	"psd/internal/core"
+	"psd/internal/dist"
 	"psd/internal/simsrv"
 	"psd/internal/sweep"
 )
@@ -45,6 +50,7 @@ import (
 const (
 	allocsPerEventGate = 0.01
 	allocsPerRepGate   = 25.0
+	allocsPerTickGate  = 0.01
 )
 
 type scenarioResult struct {
@@ -64,6 +70,10 @@ type scenarioResult struct {
 	Replications int     `json:"replications,omitempty"`
 	RepsPerSec   float64 `json:"reps_per_sec,omitempty"`
 	AllocsPerRep float64 `json:"allocs_per_rep,omitempty"`
+	// Control-tick metrics (control-tick scenario only).
+	Ticks         int     `json:"ticks,omitempty"`
+	TicksPerSec   float64 `json:"ticks_per_sec,omitempty"`
+	AllocsPerTick float64 `json:"allocs_per_tick,omitempty"`
 }
 
 type report struct {
@@ -82,6 +92,7 @@ type scenario struct {
 	packetized  bool
 	trace       bool
 	figureSweep bool
+	controlTick bool
 }
 
 func scenarios() []scenario {
@@ -92,6 +103,7 @@ func scenarios() []scenario {
 		{name: "2class-load0.6-packetized", deltas: []float64{1, 4}, load: 0.6, packetized: true},
 		{name: "2class-load0.6-trace", deltas: []float64{1, 2}, load: 0.6, trace: true},
 		{name: "figure2-sweep", deltas: []float64{1, 2}, figureSweep: true},
+		{name: "control-tick", deltas: []float64{1, 2, 3, 4, 6, 8, 12, 16}, controlTick: true},
 	}
 }
 
@@ -126,7 +138,10 @@ func main() {
 			fatalf("%s: %v", sc.name, err)
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
-		if sc.figureSweep {
+		if sc.controlTick {
+			fmt.Fprintf(os.Stderr, "%-28s %10d ticks   %8.3fs  %12.0f ticks/s   %.4f allocs/tick\n",
+				res.Name, res.Ticks, res.WallSeconds, res.TicksPerSec, res.AllocsPerTick)
+		} else if sc.figureSweep {
 			fmt.Fprintf(os.Stderr, "%-28s %10d events  %8.3fs  %12.0f events/s  %6.1f reps/s  %.2f allocs/rep\n",
 				res.Name, res.Events, res.WallSeconds, res.EventsPerSec, res.RepsPerSec, res.AllocsPerRep)
 		} else {
@@ -198,14 +213,22 @@ func compareAgainst(path string, cur report, tol float64) []string {
 		}
 	}
 	for _, s := range cur.Scenarios {
-		if s.Model == "figure-sweep" {
+		switch s.Model {
+		case "figure-sweep":
 			if s.AllocsPerRep > allocsPerRepGate {
 				failures = append(failures, fmt.Sprintf(
 					"%s: %.2f allocs/replication breaches the %.0f gate", s.Name, s.AllocsPerRep, allocsPerRepGate))
 			}
-		} else if s.AllocsPerEvent > allocsPerEventGate {
-			failures = append(failures, fmt.Sprintf(
-				"%s: %.4f allocs/event breaches the %.2f gate", s.Name, s.AllocsPerEvent, allocsPerEventGate))
+		case "control-tick":
+			if s.AllocsPerTick > allocsPerTickGate {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.4f allocs/tick breaches the %.2f gate", s.Name, s.AllocsPerTick, allocsPerTickGate))
+			}
+		default:
+			if s.AllocsPerEvent > allocsPerEventGate {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.4f allocs/event breaches the %.2f gate", s.Name, s.AllocsPerEvent, allocsPerEventGate))
+			}
 		}
 		b, ok := baseByName[s.Name]
 		if !ok {
@@ -223,8 +246,11 @@ func compareAgainst(path string, cur report, tol float64) []string {
 			}
 		}
 		check("events/s", b.EventsPerSec, s.EventsPerSec)
-		if s.Model == "figure-sweep" {
+		switch s.Model {
+		case "figure-sweep":
 			check("reps/s", b.RepsPerSec, s.RepsPerSec)
+		case "control-tick":
+			check("ticks/s", b.TicksPerSec, s.TicksPerSec)
 		}
 	}
 	return failures
@@ -247,6 +273,9 @@ func syntheticTrace(total float64) []simsrv.TraceRequest {
 func runScenario(sc scenario, runs int, warmup, horizon float64, seed uint64) (scenarioResult, error) {
 	if sc.figureSweep {
 		return runFigureSweep(sc, runs, seed)
+	}
+	if sc.controlTick {
+		return runControlTick(sc)
 	}
 	cfg := simsrv.EqualLoadConfig(sc.deltas, sc.load, nil)
 	cfg.Warmup = warmup
@@ -378,6 +407,67 @@ func runFigureSweep(sc scenario, runs int, seed uint64) (scenarioResult, error) 
 		Replications: reps,
 		RepsPerSec:   float64(reps) / wall,
 		AllocsPerRep: float64(ms1.Mallocs-ms0.Mallocs) / float64(reps),
+	}, nil
+}
+
+// runControlTick measures the shared control plane in isolation: one
+// control.Loop (the exact engine behind every simsrv reallocation window
+// and every httpsrv live tick) driven with synthetic window observations,
+// feedback on. Reported as ticks/s and allocs/tick; a steady-state tick
+// must not allocate at all (allocs/tick gate in -compare), so a
+// regression in internal/control fails CI exactly like an event-loop one.
+func runControlTick(sc scenario) (scenarioResult, error) {
+	const ticks = 2_000_000
+	nc := len(sc.deltas)
+	w, err := core.WorkloadFromDist(dist.PaperDefault())
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	lp, err := control.NewLoop(control.LoopConfig{
+		Deltas:    sc.deltas,
+		Window:    1000,
+		Allocator: core.PSD{},
+		Workload:  w,
+		Feedback:  true,
+	})
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	counts := make([]float64, nc)
+	work := make([]float64, nc)
+	slows := make([]float64, nc)
+	tick := func(k int) error {
+		for i := 0; i < nc; i++ {
+			counts[i] = float64(200 + (k*7+i*13)%120)
+			work[i] = counts[i] * w.MeanSize
+			slows[i] = sc.deltas[i] * float64(1+(k+i)%3)
+		}
+		_, err := lp.Tick(control.TickInput{Counts: counts, Work: work, MeasuredSlowdowns: slows})
+		return err
+	}
+	if err := tick(0); err != nil { // warm the loop's buffers
+		return scenarioResult{}, err
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for k := 1; k <= ticks; k++ {
+		if err := tick(k); err != nil {
+			return scenarioResult{}, err
+		}
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+
+	return scenarioResult{
+		Name:          sc.name,
+		Classes:       nc,
+		Model:         "control-tick",
+		Ticks:         ticks,
+		WallSeconds:   wall,
+		TicksPerSec:   float64(ticks) / wall,
+		AllocsPerTick: float64(ms1.Mallocs-ms0.Mallocs) / float64(ticks),
 	}, nil
 }
 

@@ -23,21 +23,24 @@ import (
 	"strings"
 	"time"
 
+	"psd/internal/control"
 	"psd/internal/dist"
 	"psd/internal/httpsrv"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		deltas   = flag.String("deltas", "1,2", "comma-separated differentiation parameters")
-		timeUnit = flag.Duration("timeunit", 10*time.Millisecond, "wall-clock duration of one work unit at full rate")
-		window   = flag.Float64("window", 100, "reallocation window in time units")
-		alpha    = flag.Float64("alpha", 1.5, "Bounded Pareto shape for undeclared sizes")
-		lower    = flag.Float64("lower", 0.1, "Bounded Pareto lower bound")
-		upper    = flag.Float64("upper", 100, "Bounded Pareto upper bound")
-		feedback = flag.Bool("feedback", false, "enable the slowdown-ratio feedback controller")
-		seed     = flag.Uint64("seed", 1, "server-side sampling seed")
+		addr      = flag.String("addr", ":8080", "listen address")
+		deltas    = flag.String("deltas", "1,2", "comma-separated differentiation parameters")
+		timeUnit  = flag.Duration("timeunit", 10*time.Millisecond, "wall-clock duration of one work unit at full rate")
+		window    = flag.Float64("window", 100, "reallocation window in time units")
+		alpha     = flag.Float64("alpha", 1.5, "Bounded Pareto shape for undeclared sizes")
+		lower     = flag.Float64("lower", 0.1, "Bounded Pareto lower bound")
+		upper     = flag.Float64("upper", 100, "Bounded Pareto upper bound")
+		feedback  = flag.Bool("feedback", false, "enable the slowdown-ratio feedback controller")
+		estimator = flag.String("estimator", "window", "load estimator: window (paper) | ewma")
+		ewmaAlpha = flag.Float64("ewma-alpha", 0.3, "EWMA smoothing factor in (0,1] (with -estimator ewma)")
+		seed      = flag.Uint64("seed", 1, "server-side sampling seed")
 	)
 	flag.Parse()
 
@@ -49,21 +52,27 @@ func main() {
 	if err != nil {
 		fatalf("bad Bounded Pareto parameters: %v", err)
 	}
+	kind, err := control.ParseEstimatorKind(*estimator)
+	if err != nil {
+		fatalf("bad -estimator: %v", err)
+	}
 	srv, err := httpsrv.New(httpsrv.Config{
-		Deltas:   ds,
-		Service:  svc,
-		TimeUnit: *timeUnit,
-		Window:   *window,
-		Feedback: *feedback,
-		Seed:     *seed,
+		Deltas:    ds,
+		Service:   svc,
+		TimeUnit:  *timeUnit,
+		Window:    *window,
+		Feedback:  *feedback,
+		Estimator: kind,
+		EWMAAlpha: *ewmaAlpha,
+		Seed:      *seed,
 	})
 	if err != nil {
 		fatalf("starting server: %v", err)
 	}
 	defer srv.Close()
 
-	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), feedback=%v",
-		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), *feedback)
+	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), estimator=%s, feedback=%v",
+		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), kind, *feedback)
 	log.Printf("work endpoint: GET /?class=N&size=X   metrics: GET /metrics")
 	if err := http.ListenAndServe(*addr, srv.Mux()); err != nil {
 		fatalf("%v", err)

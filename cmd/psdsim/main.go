@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/dist"
 	"psd/internal/simsrv"
@@ -39,8 +40,11 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "base random seed")
 		workers     = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		allocator   = flag.String("allocator", "psd", "psd | pdd | equal | demand")
+		estimator   = flag.String("estimator", "window", "load estimator: window (paper) | ewma")
+		ewmaAlpha   = flag.Float64("ewma-alpha", 0.3, "EWMA smoothing factor in (0,1]")
 		workConserv = flag.Bool("work-conserving", false, "redistribute idle class capacity (GPS ablation)")
 		oracle      = flag.Bool("oracle", false, "feed the allocator true arrival rates (no estimation error)")
+		loadStep    = flag.Float64("load-step", 0, "transient ablation: scale all arrival rates by this factor at mid-horizon (0 = stationary)")
 	)
 	flag.Parse()
 
@@ -60,6 +64,15 @@ func main() {
 	cfg.Seed = *seed
 	cfg.WorkConserving = *workConserv
 	cfg.Oracle = *oracle
+	kind, err := control.ParseEstimatorKind(*estimator)
+	if err != nil {
+		fatalf("bad -estimator: %v", err)
+	}
+	cfg.Estimator = kind
+	cfg.EWMAAlpha = *ewmaAlpha
+	if *loadStep > 0 {
+		cfg.LoadSchedule = simsrv.LoadStep(*warmup+*horizon/2, *loadStep)
+	}
 	switch *allocator {
 	case "psd":
 		cfg.Allocator = core.PSD{}

@@ -47,7 +47,10 @@
 //	                   (Handler, kind, data) dispatch
 //	internal/stats     streaming moments, histograms, P² quantiles
 //	internal/sched     GPS/WFQ/DRR/WRR/Lottery substrate
-//	internal/control   load estimators, feedback extension
+//	internal/control   the shared control plane: one allocation-free
+//	                   estimate→control→allocate Loop (window | EWMA
+//	                   estimation, optional feedback trim) driven by both
+//	                   the simulator and the live HTTP server
 //	internal/admission overload protection complementing differentiation
 //	internal/simsrv    the paper's simulation model (Fig. 1) as a
 //	                   reusable arena: Simulator Reset/RunInto plus
@@ -74,8 +77,10 @@
 // paper-fidelity replications through one arena and gates allocs/event
 // (< 0.01, both server models) and allocs/replication (< 10);
 // BenchmarkFigureSweep tracks full-figure throughput; cmd/psdbench runs
-// the same scenarios, writes the committed BENCH_psd.json baseline, and
-// in -compare mode turns regressions into non-zero exits (CI runs it).
+// the same scenarios — plus a control-tick scenario gating the shared
+// control plane at zero allocations per tick — writes the committed
+// BENCH_psd.json baseline, and in -compare mode turns regressions into
+// non-zero exits (CI runs it).
 // Seeded replications are reproducible bit-for-bit across engine
 // versions and across arena reuse — the golden tests in internal/simsrv
 // pin exact trajectories.

@@ -1,12 +1,17 @@
-// Package control provides the load-estimation and feedback machinery
-// around the PSD rate allocator.
+// Package control is the shared control plane around the PSD rate
+// allocator: one estimate→control→allocate loop driven by both the
+// simulator (internal/simsrv) and the live HTTP server (internal/httpsrv).
 //
 // The paper estimates each class's load as the average over the past five
 // 1000-time-unit windows (§4.1) and attributes its controllability gaps at
 // large δ ratios to estimation error (§4.4); its stated future work is
 // improving short-timescale predictability. This package supplies:
 //
-//   - WindowEstimator: the paper's sliding-window mean estimator
+//   - Loop: the allocation-free control plane itself — per Tick it closes
+//     an estimation window (window | EWMA smoothing), applies the optional
+//     feedback trim, and re-runs the allocator in place
+//   - WindowEstimator: the paper's sliding-window mean estimator, as a
+//     standalone component
 //   - EWMAEstimator: an exponentially weighted alternative that reacts
 //     faster to load shifts at equal noise
 //   - RatioController: a multiplicative-integral feedback loop that trims
@@ -45,16 +50,74 @@ type Estimator interface {
 // ErrDimension reports slices of the wrong class count.
 var ErrDimension = errors.New("control: wrong number of classes")
 
-// WindowEstimator is the paper's estimator: the estimate for the next
-// window is the mean over the last History windows.
-type WindowEstimator struct {
+// windowRing is the window-mean estimator core shared by WindowEstimator
+// and Loop: one flat ring per metric, indexed [class*history+slot], so a
+// class's history is contiguous at scan time and the whole state resets
+// without allocating.
+type windowRing struct {
 	window  float64
-	history int
-	counts  [][]float64 // ring: [slot][class]
-	work    [][]float64
-	next    int
-	filled  int
 	classes int
+	history int
+	counts  []float64
+	work    []float64
+	next    int // ring write index
+	filled  int // number of valid slots
+}
+
+// reset re-dimensions the ring for the given shape and clears it,
+// reusing buffer capacity when the shape fits.
+func (r *windowRing) reset(classes, history int, window float64) {
+	r.classes, r.history, r.window = classes, history, window
+	n := classes * history
+	r.counts = resizeFloats(r.counts, n)
+	r.work = resizeFloats(r.work, n)
+	for i := 0; i < n; i++ {
+		r.counts[i] = 0
+		r.work[i] = 0
+	}
+	r.next = 0
+	r.filled = 0
+}
+
+// observe folds one closed window's per-class totals into the ring.
+// Slices must have the ring's class count (callers validate).
+func (r *windowRing) observe(counts, work []float64) {
+	for i := 0; i < r.classes; i++ {
+		r.counts[i*r.history+r.next] = counts[i]
+		r.work[i*r.history+r.next] = work[i]
+	}
+	r.next = (r.next + 1) % r.history
+	if r.filled < r.history {
+		r.filled++
+	}
+}
+
+func (r *windowRing) lambdasInto(dst []float64) { r.meanInto(dst, r.counts) }
+func (r *windowRing) loadsInto(dst []float64)   { r.meanInto(dst, r.work) }
+
+func (r *windowRing) meanInto(dst, ring []float64) {
+	if r.filled == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	span := r.window * float64(r.filled)
+	for i := 0; i < r.classes; i++ {
+		sum := 0.0
+		row := ring[i*r.history : i*r.history+r.filled]
+		for _, v := range row {
+			sum += v
+		}
+		dst[i] = sum / span
+	}
+}
+
+// WindowEstimator is the paper's estimator: the estimate for the next
+// window is the mean over the last History windows. It is a thin
+// validated wrapper around the same windowRing core the Loop runs on.
+type WindowEstimator struct {
+	ring windowRing
 }
 
 // NewWindowEstimator builds the paper's 5-window mean estimator (pass
@@ -64,13 +127,8 @@ func NewWindowEstimator(classes, history int, window float64) (*WindowEstimator,
 		return nil, fmt.Errorf("control: invalid estimator shape classes=%d history=%d window=%v",
 			classes, history, window)
 	}
-	e := &WindowEstimator{window: window, history: history, classes: classes}
-	e.counts = make([][]float64, history)
-	e.work = make([][]float64, history)
-	for i := range e.counts {
-		e.counts[i] = make([]float64, classes)
-		e.work[i] = make([]float64, classes)
-	}
+	e := new(WindowEstimator)
+	e.ring.reset(classes, history, window)
 	return e, nil
 }
 
@@ -79,46 +137,38 @@ func (e *WindowEstimator) Name() string { return "window" }
 
 // ObserveWindow implements Estimator.
 func (e *WindowEstimator) ObserveWindow(counts, work []float64) error {
-	if len(counts) != e.classes || len(work) != e.classes {
+	if len(counts) != e.ring.classes || len(work) != e.ring.classes {
 		return ErrDimension
 	}
-	copy(e.counts[e.next], counts)
-	copy(e.work[e.next], work)
-	e.next = (e.next + 1) % e.history
-	if e.filled < e.history {
-		e.filled++
-	}
+	e.ring.observe(counts, work)
 	return nil
 }
 
 // Lambdas implements Estimator.
-func (e *WindowEstimator) Lambdas() []float64 { return e.average(e.counts) }
-
-// Loads implements Estimator.
-func (e *WindowEstimator) Loads() []float64 { return e.average(e.work) }
-
-func (e *WindowEstimator) average(ring [][]float64) []float64 {
-	out := make([]float64, e.classes)
-	if e.filled == 0 {
-		return out
-	}
-	span := e.window * float64(e.filled)
-	for s := 0; s < e.filled; s++ {
-		for c := 0; c < e.classes; c++ {
-			out[c] += ring[s][c]
-		}
-	}
-	for c := range out {
-		out[c] /= span
-	}
+func (e *WindowEstimator) Lambdas() []float64 {
+	out := make([]float64, e.ring.classes)
+	e.LambdasInto(out)
 	return out
 }
 
-// EWMAEstimator smooths with an exponentially weighted moving average:
-// estimate ← (1−α)·estimate + α·window-rate. α in (0, 1]; larger α reacts
-// faster. Its effective memory of 1/α windows makes it comparable to a
-// WindowEstimator with history ≈ 2/α − 1.
-type EWMAEstimator struct {
+// Loads implements Estimator.
+func (e *WindowEstimator) Loads() []float64 {
+	out := make([]float64, e.ring.classes)
+	e.LoadsInto(out)
+	return out
+}
+
+// LambdasInto is Lambdas into caller-owned storage (len = class count),
+// for allocation-free control ticks.
+func (e *WindowEstimator) LambdasInto(dst []float64) { e.ring.lambdasInto(dst) }
+
+// LoadsInto is Loads into caller-owned storage.
+func (e *WindowEstimator) LoadsInto(dst []float64) { e.ring.loadsInto(dst) }
+
+// ewmaState is the EWMA estimator core shared by EWMAEstimator and Loop:
+// estimate ← (1−α)·estimate + α·window-rate, primed directly by the
+// first observation.
+type ewmaState struct {
 	window  float64
 	alpha   float64
 	classes int
@@ -127,27 +177,22 @@ type EWMAEstimator struct {
 	primed  bool
 }
 
-// NewEWMAEstimator builds the estimator.
-func NewEWMAEstimator(classes int, alpha, window float64) (*EWMAEstimator, error) {
-	if classes < 1 || !(alpha > 0) || alpha > 1 || !(window > 0) {
-		return nil, fmt.Errorf("control: invalid EWMA shape classes=%d alpha=%v window=%v",
-			classes, alpha, window)
+// reset re-dimensions the state for the given shape and clears it,
+// reusing buffer capacity when the shape fits.
+func (e *ewmaState) reset(classes int, alpha, window float64) {
+	e.classes, e.alpha, e.window = classes, alpha, window
+	e.lambdas = resizeFloats(e.lambdas, classes)
+	e.loads = resizeFloats(e.loads, classes)
+	for i := 0; i < classes; i++ {
+		e.lambdas[i] = 0
+		e.loads[i] = 0
 	}
-	return &EWMAEstimator{
-		window: window, alpha: alpha, classes: classes,
-		lambdas: make([]float64, classes),
-		loads:   make([]float64, classes),
-	}, nil
+	e.primed = false
 }
 
-// Name implements Estimator.
-func (e *EWMAEstimator) Name() string { return "ewma" }
-
-// ObserveWindow implements Estimator.
-func (e *EWMAEstimator) ObserveWindow(counts, work []float64) error {
-	if len(counts) != e.classes || len(work) != e.classes {
-		return ErrDimension
-	}
+// observe folds one closed window's per-class totals into the averages.
+// Slices must have the state's class count (callers validate).
+func (e *ewmaState) observe(counts, work []float64) {
 	for c := 0; c < e.classes; c++ {
 		l := counts[c] / e.window
 		w := work[c] / e.window
@@ -160,14 +205,51 @@ func (e *EWMAEstimator) ObserveWindow(counts, work []float64) error {
 		}
 	}
 	e.primed = true
+}
+
+// EWMAEstimator smooths with an exponentially weighted moving average:
+// estimate ← (1−α)·estimate + α·window-rate. α in (0, 1]; larger α reacts
+// faster. Its effective memory of 1/α windows makes it comparable to a
+// WindowEstimator with history ≈ 2/α − 1. It is a thin validated wrapper
+// around the same ewmaState core the Loop runs on.
+type EWMAEstimator struct {
+	state ewmaState
+}
+
+// NewEWMAEstimator builds the estimator.
+func NewEWMAEstimator(classes int, alpha, window float64) (*EWMAEstimator, error) {
+	if classes < 1 || !(alpha > 0) || alpha > 1 || !(window > 0) {
+		return nil, fmt.Errorf("control: invalid EWMA shape classes=%d alpha=%v window=%v",
+			classes, alpha, window)
+	}
+	e := new(EWMAEstimator)
+	e.state.reset(classes, alpha, window)
+	return e, nil
+}
+
+// Name implements Estimator.
+func (e *EWMAEstimator) Name() string { return "ewma" }
+
+// ObserveWindow implements Estimator.
+func (e *EWMAEstimator) ObserveWindow(counts, work []float64) error {
+	if len(counts) != e.state.classes || len(work) != e.state.classes {
+		return ErrDimension
+	}
+	e.state.observe(counts, work)
 	return nil
 }
 
 // Lambdas implements Estimator.
-func (e *EWMAEstimator) Lambdas() []float64 { return append([]float64(nil), e.lambdas...) }
+func (e *EWMAEstimator) Lambdas() []float64 { return append([]float64(nil), e.state.lambdas...) }
 
 // Loads implements Estimator.
-func (e *EWMAEstimator) Loads() []float64 { return append([]float64(nil), e.loads...) }
+func (e *EWMAEstimator) Loads() []float64 { return append([]float64(nil), e.state.loads...) }
+
+// LambdasInto is Lambdas into caller-owned storage (len = class count).
+func (e *EWMAEstimator) LambdasInto(dst []float64) { copy(dst, e.state.lambdas) }
+
+// LoadsInto is Loads into caller-owned storage.
+func (e *EWMAEstimator) LoadsInto(dst []float64) { copy(dst, e.state.loads) }
 
 // RatioController trims the δ vector fed to the allocator so measured
 // slowdown ratios converge to the target ratios. Class 0 is the reference
@@ -190,30 +272,47 @@ type RatioController struct {
 
 // NewRatioController builds a controller for the target δ vector.
 func NewRatioController(target []float64, gain, maxTrim float64) (*RatioController, error) {
+	r := new(RatioController)
+	if err := r.ResetTargets(target, gain, maxTrim); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ResetTargets re-arms the controller for a (possibly new) target vector,
+// reusing its buffers; a reset controller is identical to a freshly
+// constructed one. It lets arena owners (control.Loop, the simulator)
+// reset without allocating.
+func (r *RatioController) ResetTargets(target []float64, gain, maxTrim float64) error {
 	if len(target) == 0 {
-		return nil, errors.New("control: no target deltas")
+		return errors.New("control: no target deltas")
 	}
 	for i, d := range target {
 		if !(d > 0) || math.IsInf(d, 0) {
-			return nil, fmt.Errorf("control: target delta[%d] = %v must be positive", i, d)
+			return fmt.Errorf("control: target delta[%d] = %v must be positive", i, d)
 		}
 	}
 	if !(gain > 0) || gain > 1 {
-		return nil, fmt.Errorf("control: gain %v must be in (0, 1]", gain)
+		return fmt.Errorf("control: gain %v must be in (0, 1]", gain)
 	}
 	if !(maxTrim > 1) {
-		return nil, fmt.Errorf("control: maxTrim %v must exceed 1", maxTrim)
+		return fmt.Errorf("control: maxTrim %v must exceed 1", maxTrim)
 	}
-	return &RatioController{
-		target:  append([]float64(nil), target...),
-		eff:     append([]float64(nil), target...),
-		gain:    gain,
-		maxTrim: maxTrim,
-	}, nil
+	n := len(target)
+	r.target = resizeFloats(r.target, n)
+	r.eff = resizeFloats(r.eff, n)
+	copy(r.target, target)
+	copy(r.eff, target)
+	r.gain = gain
+	r.maxTrim = maxTrim
+	return nil
 }
 
 // Deltas returns the effective δ vector to hand to the allocator.
 func (r *RatioController) Deltas() []float64 { return append([]float64(nil), r.eff...) }
+
+// DeltasInto is Deltas into caller-owned storage (len = class count).
+func (r *RatioController) DeltasInto(dst []float64) { copy(dst, r.eff) }
 
 // Update feeds one period's measured per-class mean slowdowns. Classes
 // with non-positive or NaN measurements (no completions) are skipped.

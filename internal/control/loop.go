@@ -1,0 +1,380 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"psd/internal/core"
+)
+
+// EstimatorKind selects the Loop's load-smoothing strategy.
+type EstimatorKind int
+
+const (
+	// Window is the paper's §4.1 estimator: the estimate for the next
+	// window is the mean over the last HistoryWindows windows.
+	Window EstimatorKind = iota
+	// EWMA smooths with an exponentially weighted moving average, which
+	// reacts faster to load shifts at equal steady-state noise (effective
+	// memory ≈ 2/α − 1 windows).
+	EWMA
+)
+
+// String implements fmt.Stringer.
+func (k EstimatorKind) String() string {
+	switch k {
+	case Window:
+		return "window"
+	case EWMA:
+		return "ewma"
+	default:
+		return fmt.Sprintf("estimator(%d)", int(k))
+	}
+}
+
+// ParseEstimatorKind maps a flag value ("window" | "ewma") to its kind.
+func ParseEstimatorKind(s string) (EstimatorKind, error) {
+	switch s {
+	case "window":
+		return Window, nil
+	case "ewma":
+		return EWMA, nil
+	default:
+		return 0, fmt.Errorf("control: unknown estimator %q (want window or ewma)", s)
+	}
+}
+
+// Valid reports whether k names a known estimator.
+func (k EstimatorKind) Valid() bool { return k == Window || k == EWMA }
+
+// LoopConfig parametrizes one control Loop. Zero optional fields take the
+// paper's defaults on Reset.
+type LoopConfig struct {
+	// Deltas are the per-class target differentiation parameters; the
+	// slice is copied, and its length fixes the class count.
+	Deltas []float64
+	// Window is the estimation period in time units (> 0, required).
+	Window float64
+	// Estimator selects the smoothing strategy (default Window).
+	Estimator EstimatorKind
+	// HistoryWindows is the Window-mode depth (default 5, §4.1).
+	HistoryWindows int
+	// EWMAAlpha is the EWMA smoothing factor in (0, 1] (default 0.3).
+	EWMAAlpha float64
+	// Allocator computes the rate split (required).
+	Allocator core.Allocator
+	// Workload supplies the job-size moments the allocator needs.
+	Workload core.Workload
+	// EstimateFromWork derives the allocator's arrival rates from
+	// measured work (λ̂_i = load_i / E[X]) instead of request counts.
+	EstimateFromWork bool
+	// Feedback enables the RatioController trim on the δ vector.
+	Feedback bool
+	// FeedbackGain is the controller gain in (0, 1] (default 0.3).
+	FeedbackGain float64
+	// FeedbackMaxTrim bounds δeff within [target/MaxTrim, target·MaxTrim]
+	// (default 8).
+	FeedbackMaxTrim float64
+}
+
+func (c LoopConfig) withDefaults() LoopConfig {
+	if c.HistoryWindows == 0 {
+		c.HistoryWindows = 5
+	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = 0.3
+	}
+	if c.FeedbackGain == 0 {
+		c.FeedbackGain = 0.3
+	}
+	if c.FeedbackMaxTrim == 0 {
+		c.FeedbackMaxTrim = 8
+	}
+	return c
+}
+
+// TickInput carries one closed estimation window into Loop.Tick. The zero
+// value is valid for consumers that feed observations through
+// Loop.Observe and run open-loop.
+type TickInput struct {
+	// Counts and Work are the closed window's per-class arrival counts
+	// and total work. Nil Counts means "use the Loop's own Observe
+	// accumulators" (the simulator path); non-nil slices must have the
+	// Loop's class count (the live-server path, which harvests per-class
+	// runtime counters at the tick).
+	Counts []float64
+	Work   []float64
+	// MeasuredSlowdowns feeds the feedback controller the window's
+	// measured per-class mean slowdowns (NaN where a class had no
+	// completions). Nil skips the controller update for this tick; it is
+	// ignored entirely when the Loop runs open-loop.
+	MeasuredSlowdowns []float64
+	// OracleLambdas, when non-nil, replaces the estimator's arrival-rate
+	// estimates handed to the allocator (the §4.4 estimation-error
+	// ablation).
+	OracleLambdas []float64
+}
+
+// Loop is the shared estimate→control→allocate engine: one Tick closes an
+// estimation window, updates the (optional) ratio-feedback controller,
+// and re-runs the allocator in place. It is the single control plane
+// behind both the simulator (internal/simsrv, every server model) and the
+// live HTTP server (internal/httpsrv), so the two cannot drift.
+//
+// A Loop is a reusable arena: Reset re-dimensions it for a new
+// configuration reusing all retained buffers, and a steady-state Tick
+// performs no heap allocation (gated by cmd/psdbench's control-tick
+// scenario and httpsrv's BenchmarkReallocate). A Loop is not safe for
+// concurrent use; callers serialize access (the simulator is
+// single-goroutine, httpsrv wraps it in a mutex).
+type Loop struct {
+	deltas    []float64 // target δ (copied from config)
+	window    float64
+	kind      EstimatorKind
+	history   int
+	alpha     float64
+	allocator core.Allocator
+	workload  core.Workload
+	fromWork  bool
+	feedback  bool
+
+	classes int
+
+	// Estimator cores, shared with the standalone WindowEstimator /
+	// EWMAEstimator wrappers so the math exists exactly once; only the
+	// configured kind is consulted.
+	ring windowRing
+	ewma ewmaState
+
+	// Current (open) window accumulators for the Observe path.
+	curCount []float64
+	curWork  []float64
+
+	ctrl RatioController // active iff feedback
+
+	// Per-tick scratch.
+	effDeltas    []float64
+	lambdas      []float64
+	loads        []float64
+	allocClasses []core.Class
+	alloc        core.Allocation
+}
+
+// NewLoop builds and arms a Loop.
+func NewLoop(cfg LoopConfig) (*Loop, error) {
+	lp := new(Loop)
+	if err := lp.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return lp, nil
+}
+
+// Reset re-arms the Loop for cfg, reusing every retained buffer. A reset
+// Loop is observationally identical to a freshly constructed one.
+func (lp *Loop) Reset(cfg LoopConfig) error {
+	cfg = cfg.withDefaults()
+	nc := len(cfg.Deltas)
+	if nc == 0 {
+		return fmt.Errorf("control: loop needs at least one class")
+	}
+	for i, d := range cfg.Deltas {
+		if !(d > 0) || math.IsInf(d, 0) {
+			return fmt.Errorf("control: loop delta[%d] = %v must be positive and finite", i, d)
+		}
+	}
+	if !(cfg.Window > 0) {
+		return fmt.Errorf("control: loop window %v must be positive", cfg.Window)
+	}
+	if !cfg.Estimator.Valid() {
+		return fmt.Errorf("control: unknown estimator kind %d", int(cfg.Estimator))
+	}
+	if cfg.HistoryWindows < 1 {
+		return fmt.Errorf("control: history windows %d must be >= 1", cfg.HistoryWindows)
+	}
+	if !(cfg.EWMAAlpha > 0) || cfg.EWMAAlpha > 1 {
+		return fmt.Errorf("control: EWMA alpha %v must be in (0, 1]", cfg.EWMAAlpha)
+	}
+	if cfg.Allocator == nil {
+		return fmt.Errorf("control: loop needs an allocator")
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return err
+	}
+
+	lp.window = cfg.Window
+	lp.kind = cfg.Estimator
+	lp.history = cfg.HistoryWindows
+	lp.alpha = cfg.EWMAAlpha
+	lp.allocator = cfg.Allocator
+	lp.workload = cfg.Workload
+	lp.fromWork = cfg.EstimateFromWork
+	lp.feedback = cfg.Feedback
+	lp.classes = nc
+
+	lp.deltas = resizeFloats(lp.deltas, nc)
+	copy(lp.deltas, cfg.Deltas)
+
+	lp.ring.reset(nc, lp.history, lp.window)
+	lp.ewma.reset(nc, lp.alpha, lp.window)
+	lp.curCount = resizeFloats(lp.curCount, nc)
+	lp.curWork = resizeFloats(lp.curWork, nc)
+	for i := 0; i < nc; i++ {
+		lp.curCount[i] = 0
+		lp.curWork[i] = 0
+	}
+
+	lp.effDeltas = resizeFloats(lp.effDeltas, nc)
+	lp.lambdas = resizeFloats(lp.lambdas, nc)
+	lp.loads = resizeFloats(lp.loads, nc)
+	if cap(lp.allocClasses) < nc {
+		lp.allocClasses = make([]core.Class, nc)
+	} else {
+		lp.allocClasses = lp.allocClasses[:nc]
+	}
+
+	if cfg.Feedback {
+		if err := lp.ctrl.ResetTargets(lp.deltas, cfg.FeedbackGain, cfg.FeedbackMaxTrim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Classes returns the configured class count.
+func (lp *Loop) Classes() int { return lp.classes }
+
+// EstimatorName identifies the active estimator ("window" | "ewma").
+func (lp *Loop) EstimatorName() string { return lp.kind.String() }
+
+// Observe accumulates one arrival of the given size into the open
+// estimation window (the simulator path; live servers usually batch their
+// own counters and pass them via TickInput.Counts instead).
+func (lp *Loop) Observe(class int, size float64) {
+	lp.curCount[class]++
+	lp.curWork[class] += size
+}
+
+// observeWindow folds one closed window's per-class counts and work into
+// the configured estimator core.
+func (lp *Loop) observeWindow(counts, work []float64) {
+	switch lp.kind {
+	case Window:
+		lp.ring.observe(counts, work)
+	case EWMA:
+		lp.ewma.observe(counts, work)
+	}
+}
+
+// LambdasInto fills dst with the current per-class arrival-rate estimates
+// (zero before the first closed window). len(dst) must be Classes().
+func (lp *Loop) LambdasInto(dst []float64) {
+	switch lp.kind {
+	case Window:
+		lp.ring.lambdasInto(dst)
+	case EWMA:
+		copy(dst, lp.ewma.lambdas)
+	}
+}
+
+// LoadsInto fills dst with the current per-class offered-load estimates
+// (work units per time unit).
+func (lp *Loop) LoadsInto(dst []float64) {
+	switch lp.kind {
+	case Window:
+		lp.ring.loadsInto(dst)
+	case EWMA:
+		copy(dst, lp.ewma.loads)
+	}
+}
+
+// EffectiveDeltasInto fills dst with the δ vector currently handed to the
+// allocator: the targets, trimmed by the feedback controller when it is
+// active.
+func (lp *Loop) EffectiveDeltasInto(dst []float64) {
+	copy(dst, lp.deltas)
+	if lp.feedback {
+		lp.ctrl.DeltasInto(dst)
+	}
+}
+
+// Tick runs one control period: close the estimation window (from
+// in.Counts/Work, or from the Observe accumulators when in.Counts is
+// nil), update the feedback controller from in.MeasuredSlowdowns, and
+// re-run the allocator. On success it returns the new rate vector — a
+// Loop-owned scratch slice, valid until the next Tick/Reset, which the
+// caller applies (flooring, scheduler weights, pacing) as its server
+// model requires. On error (typically core.ErrInfeasible under a
+// transient ρ̂ ≥ 1, or ErrDimension for malformed input, which leaves
+// the estimator untouched) the caller should keep its previous rates.
+func (lp *Loop) Tick(in TickInput) ([]float64, error) {
+	if in.Counts != nil && (len(in.Counts) != lp.classes || len(in.Work) != lp.classes) {
+		return nil, ErrDimension
+	}
+	if in.MeasuredSlowdowns != nil && len(in.MeasuredSlowdowns) != lp.classes {
+		return nil, ErrDimension
+	}
+	if in.OracleLambdas != nil && len(in.OracleLambdas) != lp.classes {
+		return nil, ErrDimension
+	}
+	counts, work := in.Counts, in.Work
+	if counts == nil {
+		counts, work = lp.curCount, lp.curWork
+	}
+	lp.observeWindow(counts, work)
+	if in.Counts == nil {
+		for i := 0; i < lp.classes; i++ {
+			lp.curCount[i] = 0
+			lp.curWork[i] = 0
+		}
+	}
+
+	copy(lp.effDeltas, lp.deltas)
+	if lp.feedback {
+		if in.MeasuredSlowdowns != nil {
+			_ = lp.ctrl.Update(in.MeasuredSlowdowns)
+		}
+		lp.ctrl.DeltasInto(lp.effDeltas)
+	}
+
+	lp.LambdasInto(lp.lambdas)
+	if lp.fromWork {
+		lp.LoadsInto(lp.loads)
+		for i := range lp.lambdas {
+			lp.lambdas[i] = lp.loads[i] / lp.workload.MeanSize
+		}
+	}
+	for i := 0; i < lp.classes; i++ {
+		l := lp.lambdas[i]
+		if in.OracleLambdas != nil {
+			l = in.OracleLambdas[i]
+		}
+		lp.allocClasses[i] = core.Class{Delta: lp.effDeltas[i], Lambda: l}
+	}
+	if err := core.AllocateInto(lp.allocator, &lp.alloc, lp.allocClasses, lp.workload); err != nil {
+		return nil, err
+	}
+	return lp.alloc.Rates, nil
+}
+
+// AllocateDeclared runs the allocator against the target δ vector and the
+// given (declared/true) arrival rates, bypassing the estimator and
+// controller — the provisioning step before any window has closed, and
+// the Eq. 18 model prediction under true demand. The returned Allocation
+// is Loop-owned scratch shared with Tick, valid until the next
+// Tick/AllocateDeclared/Reset.
+func (lp *Loop) AllocateDeclared(lambdas []float64) (*core.Allocation, error) {
+	for i := 0; i < lp.classes; i++ {
+		lp.allocClasses[i] = core.Class{Delta: lp.deltas[i], Lambda: lambdas[i]}
+	}
+	if err := core.AllocateInto(lp.allocator, &lp.alloc, lp.allocClasses, lp.workload); err != nil {
+		return nil, err
+	}
+	return &lp.alloc, nil
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

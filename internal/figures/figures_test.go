@@ -19,8 +19,44 @@ func TestGenerateRejectsUnknownID(t *testing.T) {
 	if _, err := Generate(1, tiny()); err == nil {
 		t.Error("figure 1 (the architecture diagram) should not generate")
 	}
-	if _, err := Generate(13, tiny()); err == nil {
-		t.Error("figure 13 does not exist")
+	if _, err := Generate(14, tiny()); err == nil {
+		t.Error("figure 14 does not exist")
+	}
+}
+
+// TestFigure13EstimatorTransient checks the beyond-paper load-step
+// figure: both estimator series plus the target line, a time axis that
+// spans the step, and finite positive ratios.
+func TestFigure13EstimatorTransient(t *testing.T) {
+	f, err := Figure13(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 13 || len(f.Series) != 3 {
+		t.Fatalf("shape: id=%d series=%d", f.ID, len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.X) == 0 {
+			t.Fatalf("series %q empty", s.Name)
+		}
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || s.Y[i] <= 0 {
+				t.Fatalf("series %q has invalid ratio %v", s.Name, s.Y[i])
+			}
+		}
+	}
+	if f.Series[2].Name != "target ratio" || f.Series[2].Y[0] != 2 {
+		t.Fatalf("target series wrong: %+v", f.Series[2].Name)
+	}
+	// Deterministic regeneration.
+	g, err := Figure13(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Series[0].Y {
+		if f.Series[0].Y[i] != g.Series[0].Y[i] {
+			t.Fatal("figure 13 not deterministic")
+		}
 	}
 }
 

@@ -12,8 +12,11 @@
 // goroutine per class serves its queue FCFS; a request of size x served
 // while the class holds rate r occupies the worker for x/r × TimeUnit of
 // wall-clock time, emulating a processor share of r on CPU-bound work. A
-// background loop re-runs the allocator every Window using the
-// control.WindowEstimator, exactly like the simulator.
+// background loop drives the SAME control plane as the simulator — one
+// shared control.Loop tick (estimate → feedback trim → allocate) every
+// Window — so the live server's rate trajectory under a given windowed
+// observation sequence is bit-identical to the simulator's (pinned by
+// TestSimVsLiveRateParity).
 //
 // Slowdown is measured per request as queueing delay divided by actual
 // service duration, and exposed — along with rates and load estimates —
@@ -65,6 +68,11 @@ type Config struct {
 	// FeedbackGain is the controller gain when Feedback is on
 	// (default 0.3).
 	FeedbackGain float64
+	// Estimator selects the control plane's load smoothing:
+	// control.Window (the paper's default) or control.EWMA.
+	Estimator control.EstimatorKind
+	// EWMAAlpha is the EWMA smoothing factor in (0,1] (default 0.3).
+	EWMAAlpha float64
 	// Seed drives the server-side size sampling.
 	Seed uint64
 }
@@ -126,8 +134,17 @@ type Server struct {
 	cfg      Config
 	workload core.Workload
 	classes  []*classRuntime
-	est      *control.WindowEstimator
-	ctrl     *control.RatioController
+
+	// loopMu serializes the shared control plane between the reallocation
+	// ticker and metrics snapshots. The tick itself is allocation-free
+	// (control.Loop owns every buffer; the scratch below feeds it).
+	loopMu        sync.Mutex
+	loop          control.Loop
+	tickCounts    []float64
+	tickWork      []float64
+	tickSlows     []float64
+	reallocations int64
+	allocFailures int64
 
 	sizeMu  sync.Mutex
 	sizeRng *rng.Source
@@ -154,27 +171,32 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	est, err := control.NewWindowEstimator(len(cfg.Deltas), cfg.HistoryWindows, cfg.Window)
-	if err != nil {
-		return nil, err
-	}
 	ctx, cancel := context.WithCancel(context.Background())
+	n := len(cfg.Deltas)
 	s := &Server{
-		cfg:      cfg,
-		workload: w,
-		est:      est,
-		sizeRng:  rng.New(cfg.Seed),
-		ctx:      ctx,
-		cancel:   cancel,
-		started:  time.Now(),
+		cfg:        cfg,
+		workload:   w,
+		tickCounts: make([]float64, n),
+		tickWork:   make([]float64, n),
+		tickSlows:  make([]float64, n),
+		sizeRng:    rng.New(cfg.Seed),
+		ctx:        ctx,
+		cancel:     cancel,
+		started:    time.Now(),
 	}
-	if cfg.Feedback {
-		ctrl, err := control.NewRatioController(cfg.Deltas, cfg.FeedbackGain, 8)
-		if err != nil {
-			cancel()
-			return nil, err
-		}
-		s.ctrl = ctrl
+	if err := s.loop.Reset(control.LoopConfig{
+		Deltas:         cfg.Deltas,
+		Window:         cfg.Window,
+		Estimator:      cfg.Estimator,
+		HistoryWindows: cfg.HistoryWindows,
+		EWMAAlpha:      cfg.EWMAAlpha,
+		Allocator:      cfg.Allocator,
+		Workload:       w,
+		Feedback:       cfg.Feedback,
+		FeedbackGain:   cfg.FeedbackGain,
+	}); err != nil {
+		cancel()
+		return nil, err
 	}
 	s.classes = make([]*classRuntime, len(cfg.Deltas))
 	even := 1 / float64(len(cfg.Deltas))
@@ -320,36 +342,30 @@ func (s *Server) reallocLoop() {
 	}
 }
 
-// reallocate performs one estimation/allocation step. Exposed via the
-// metrics of how many reallocations happened; also called by tests
+// reallocate performs one tick of the shared control plane: harvest each
+// class's window counters into preallocated scratch, drive control.Loop
+// (the exact step the simulator runs), and install the resulting rates.
+// The tick itself allocates nothing (gated by BenchmarkReallocate).
+// Exposed via the metrics reallocation counters; also called by tests
 // directly for determinism.
 func (s *Server) reallocate() {
-	n := len(s.classes)
-	counts := make([]float64, n)
-	works := make([]float64, n)
-	slows := make([]float64, n)
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
 	for i, cr := range s.classes {
-		counts[i], works[i], slows[i] = cr.closeWindow()
+		s.tickCounts[i], s.tickWork[i], s.tickSlows[i] = cr.closeWindow()
 	}
-	if err := s.est.ObserveWindow(counts, works); err != nil {
+	rates, err := s.loop.Tick(control.TickInput{
+		Counts:            s.tickCounts,
+		Work:              s.tickWork,
+		MeasuredSlowdowns: s.tickSlows,
+	})
+	if err != nil {
+		s.allocFailures++ // transient infeasibility: keep previous rates
 		return
 	}
-	deltas := s.cfg.Deltas
-	if s.ctrl != nil {
-		_ = s.ctrl.Update(slows)
-		deltas = s.ctrl.Deltas()
-	}
-	lambdas := s.est.Lambdas()
-	classes := make([]core.Class, n)
-	for i := range classes {
-		classes[i] = core.Class{Delta: deltas[i], Lambda: lambdas[i]}
-	}
-	alloc, err := s.cfg.Allocator.Allocate(classes, s.workload)
-	if err != nil {
-		return // transient infeasibility: keep previous rates
-	}
+	s.reallocations++
 	for i, cr := range s.classes {
-		cr.setRate(alloc.Rates[i])
+		cr.setRate(rates[i])
 	}
 }
 
@@ -448,7 +464,15 @@ type ClassMetrics struct {
 
 // MetricsDocument is the full metrics payload.
 type MetricsDocument struct {
-	UptimeSeconds  float64        `json:"uptime_seconds"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Estimator names the control plane's smoothing strategy
+	// ("window" | "ewma").
+	Estimator string `json:"estimator"`
+	// Reallocations counts successful control-loop ticks;
+	// AllocFailures counts ticks whose estimate was infeasible (previous
+	// rates retained).
+	Reallocations  int64          `json:"reallocations"`
+	AllocFailures  int64          `json:"alloc_failures"`
 	Classes        []ClassMetrics `json:"classes"`
 	SlowdownRatios []float64      `json:"slowdown_ratios"`
 }
@@ -464,16 +488,21 @@ func jsonSafe(v float64) float64 {
 
 // Snapshot assembles the current metrics.
 func (s *Server) Snapshot() MetricsDocument {
-	lambdas := s.est.Lambdas()
-	deltas := s.cfg.Deltas
-	if s.ctrl != nil {
-		deltas = s.ctrl.Deltas()
-	}
+	n := len(s.classes)
+	lambdas := make([]float64, n)
+	deltas := make([]float64, n)
+	s.loopMu.Lock()
+	s.loop.LambdasInto(lambdas)
+	s.loop.EffectiveDeltasInto(deltas)
 	doc := MetricsDocument{
 		UptimeSeconds:  time.Since(s.started).Seconds(),
-		Classes:        make([]ClassMetrics, len(s.classes)),
-		SlowdownRatios: make([]float64, len(s.classes)),
+		Estimator:      s.loop.EstimatorName(),
+		Reallocations:  s.reallocations,
+		AllocFailures:  s.allocFailures,
+		Classes:        make([]ClassMetrics, n),
+		SlowdownRatios: make([]float64, n),
 	}
+	s.loopMu.Unlock()
 	var base float64
 	for i, cr := range s.classes {
 		cr.mu.Lock()

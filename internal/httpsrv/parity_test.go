@@ -1,0 +1,239 @@
+package httpsrv
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"psd/internal/control"
+	"psd/internal/core"
+	"psd/internal/simsrv"
+)
+
+// parityTrace builds a deterministic 2-class arrival trace over total
+// time units whose arrival times never coincide with a window boundary,
+// so its per-window attribution is unambiguous.
+func parityTrace(total float64) []simsrv.TraceRequest {
+	sz := []float64{0.2, 0.7, 0.4, 1.1, 0.9, 0.15, 1.6, 0.5}
+	var trace []simsrv.TraceRequest
+	tm := 0.0
+	for i := 0; tm < total; i++ {
+		tm += 0.9 + float64(i%7)*0.31
+		trace = append(trace, simsrv.TraceRequest{Time: tm, Class: i % 2, Size: sz[i%len(sz)]})
+	}
+	return trace[:len(trace)-1]
+}
+
+// windowTotals buckets a trace into per-window (counts, work) exactly as
+// the simulator's estimator sees it: window k covers [k·W, (k+1)·W).
+func windowTotals(trace []simsrv.TraceRequest, window float64, windows, classes int) (counts, work [][]float64) {
+	counts = make([][]float64, windows)
+	work = make([][]float64, windows)
+	for k := range counts {
+		counts[k] = make([]float64, classes)
+		work[k] = make([]float64, classes)
+	}
+	for _, tr := range trace {
+		k := int(tr.Time / window)
+		if k >= windows {
+			continue
+		}
+		counts[k][tr.Class]++
+		work[k][tr.Class] += tr.Size
+	}
+	return counts, work
+}
+
+// TestSimVsLiveRateParity is the cross-consumer pin for the shared
+// control plane: the identical windowed (counts, work) sequence must
+// produce bit-identical rate trajectories through (a) a bare
+// control.Loop configured like the simulator, (b) the live httpsrv
+// Server ticked manually, and (c) the full event-driven simulator
+// replaying the trace those windows were computed from. Exact float64
+// equality throughout — simulator and server share one control plane, so
+// there is nothing to be approximately equal about.
+func TestSimVsLiveRateParity(t *testing.T) {
+	for _, kind := range []control.EstimatorKind{control.Window, control.EWMA} {
+		const (
+			window  = 50.0
+			horizon = 500.0
+			windows = 10
+		)
+		deltas := []float64{1, 2}
+		trace := parityTrace(horizon)
+
+		// (c) The event-driven simulator replaying the trace.
+		cfg := simsrv.Config{
+			Classes:        []simsrv.ClassConfig{{Delta: 1, Lambda: 0.3}, {Delta: 2, Lambda: 0.3}},
+			Window:         window,
+			HistoryWindows: 3,
+			Warmup:         1, // Validate requires Horizon > 0; keep total = 501 > last tick
+			Horizon:        horizon,
+			Seed:           1,
+			Estimator:      kind,
+		}
+		res, err := simsrv.RunTrace(cfg, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AllocFailures != 0 {
+			t.Fatalf("%v: trace run hit %d alloc failures; parity needs a clean run", kind, res.AllocFailures)
+		}
+		ticks := res.Reallocations
+
+		// (a) Bare loop fed the same windowed sequence.
+		w, err := core.WorkloadFromDist(cfg.ApplyDefaults().Service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := control.NewLoop(control.LoopConfig{
+			Deltas:         deltas,
+			Window:         window,
+			Estimator:      kind,
+			HistoryWindows: 3,
+			Allocator:      core.PSD{},
+			Workload:       w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// (b) Live server, ticked manually. TimeUnit of one second keeps
+		// the background ticker (Window × TimeUnit = 50 s) far away from
+		// the test's manual ticks.
+		srv, err := New(Config{
+			Deltas:         deltas,
+			Window:         window,
+			HistoryWindows: 3,
+			TimeUnit:       time.Second,
+			Estimator:      kind,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+
+		counts, work := windowTotals(trace, window, windows, len(deltas))
+		var loopRates []float64
+		for k := 0; k < ticks; k++ {
+			loopRates, err = lp.Tick(control.TickInput{Counts: counts[k], Work: work[k]})
+			if err != nil {
+				t.Fatalf("%v: loop tick %d: %v", kind, k, err)
+			}
+			// Feed the server the same window and tick it.
+			for i, cr := range srv.classes {
+				cr.mu.Lock()
+				cr.arrivals = counts[k][i]
+				cr.work = work[k][i]
+				cr.mu.Unlock()
+			}
+			srv.reallocate()
+			live := srv.Rates()
+			for i := range live {
+				if live[i] != loopRates[i] {
+					t.Fatalf("%v: tick %d class %d: live rate %.17g != loop rate %.17g",
+						kind, k, i, live[i], loopRates[i])
+				}
+			}
+		}
+		// The simulator's final rates are the last tick's allocation.
+		for i := range loopRates {
+			if res.FinalRates[i] != loopRates[i] {
+				t.Fatalf("%v: class %d: simulator final rate %.17g != shared-loop rate %.17g",
+					kind, i, res.FinalRates[i], loopRates[i])
+			}
+		}
+		doc := srv.Snapshot()
+		if doc.Reallocations != int64(ticks) || doc.AllocFailures != 0 {
+			t.Fatalf("%v: live counters %d/%d, want %d/0", kind, doc.Reallocations, doc.AllocFailures, ticks)
+		}
+	}
+}
+
+func TestMetricsExposeControlPlane(t *testing.T) {
+	s, err := New(Config{
+		Deltas:    []float64{1, 2},
+		TimeUnit:  time.Millisecond,
+		Window:    1e9,
+		Estimator: control.EWMA,
+		EWMAAlpha: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.classes[0].observeArrival(1)
+	s.classes[1].observeArrival(1)
+	s.reallocate()
+	doc := s.Snapshot()
+	if doc.Estimator != "ewma" {
+		t.Fatalf("estimator = %q", doc.Estimator)
+	}
+	if doc.Reallocations != 1 || doc.AllocFailures != 0 {
+		t.Fatalf("counters = %d/%d, want 1/0", doc.Reallocations, doc.AllocFailures)
+	}
+	// Force an infeasible window: the failure counter must move and the
+	// success counter must not.
+	s.classes[0].mu.Lock()
+	s.classes[0].arrivals = 4e12 // survives EWMA smoothing with ρ̂ >> 1
+	s.classes[0].work = 4e12
+	s.classes[0].mu.Unlock()
+	s.reallocate()
+	doc = s.Snapshot()
+	if doc.Reallocations != 1 || doc.AllocFailures != 1 {
+		t.Fatalf("counters after infeasible tick = %d/%d, want 1/1", doc.Reallocations, doc.AllocFailures)
+	}
+}
+
+func TestBadEstimatorConfigRejected(t *testing.T) {
+	if _, err := New(Config{Deltas: []float64{1, 2}, Estimator: control.EstimatorKind(9)}); err == nil {
+		t.Error("accepted unknown estimator kind")
+	}
+	if _, err := New(Config{Deltas: []float64{1, 2}, Estimator: control.EWMA, EWMAAlpha: 2}); err == nil {
+		t.Error("accepted out-of-range alpha")
+	}
+}
+
+// BenchmarkReallocate gates the live server's control tick: after the
+// shared-loop migration a reallocation performs zero steady-state heap
+// allocations (the pre-loop implementation allocated 4+ slices per tick).
+// CI runs this with -benchtime 1x as a smoke test; the hard gate below
+// fails the benchmark if allocations creep back in.
+func BenchmarkReallocate(b *testing.B) {
+	s, err := New(Config{
+		Deltas:   []float64{1, 2, 4, 8},
+		TimeUnit: time.Millisecond,
+		Window:   1e9, // effectively disable the background ticker
+		Feedback: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	feed := func() {
+		for i, cr := range s.classes {
+			cr.mu.Lock()
+			cr.arrivals = float64(8 - i)
+			cr.work = float64(8-i) * 0.3
+			cr.windowSlow.Add(float64(i + 1))
+			cr.mu.Unlock()
+		}
+	}
+	feed()
+	s.reallocate() // warm the loop's buffers
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feed()
+		s.reallocate()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	allocsPerTick := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+	b.ReportMetric(allocsPerTick, "allocs/tick")
+	if allocsPerTick >= 1 {
+		b.Fatalf("control tick regressed into allocation: %.2f allocs/tick (want < 1)", allocsPerTick)
+	}
+}

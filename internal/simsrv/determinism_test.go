@@ -3,6 +3,8 @@ package simsrv
 import (
 	"math"
 	"testing"
+
+	"psd/internal/control"
 )
 
 // Cross-engine determinism regression. The golden values below were
@@ -175,6 +177,76 @@ func TestGoldenDeterminismTrace(t *testing.T) {
 			{1177, 1397.3580729462051, 1752.0585670416931, 6827.2762848459843, 1465.2170003472406, 3.3944714655105761},
 		},
 		rates: []float64{0.6182462743095003, 0.38175372569049959},
+	})
+}
+
+// EWMA-mode goldens, captured when the shared control plane
+// (control.Loop) landed. They pin the EWMA estimator's trajectory across
+// all three server models the same way the window-mode goldens above pin
+// the paper's default — any change to the EWMA update order, the Loop's
+// tick sequence, or the RNG draw schedule trips them.
+
+func TestGoldenDeterminismEWMAPlain2(t *testing.T) {
+	cfg := EqualLoadConfig([]float64{1, 4}, 0.6, nil)
+	cfg.Warmup = 1000
+	cfg.Horizon = 8000
+	cfg.Seed = 7
+	cfg.Estimator = control.EWMA
+	res, err := Run(cfg)
+	checkGolden(t, "ewma-plain2", res, err, goldenResult{
+		events:  37312,
+		realloc: 9,
+		system:  32.243675057091245,
+		classes: []goldenClass{
+			{8253, 10.010793558514751, 38.340533058997231, 424.69496230797836, 2.6415988969752027, 0.47366342009160262},
+			{8374, 54.155302834467861, 88.965063421833577, 570.10998223919353, 23.927108647965486, 0.81098793340939834},
+		},
+		rates: []float64{0.61360456928018914, 0.38639543071981092},
+	})
+}
+
+func TestGoldenDeterminismEWMAPacketized(t *testing.T) {
+	cfg := EqualLoadConfig([]float64{1, 4}, 0.6, nil)
+	cfg.Warmup = 1000
+	cfg.Horizon = 8000
+	cfg.Seed = 7
+	cfg.Estimator = control.EWMA
+	res, err := RunPacketized(PacketizedConfig{Config: cfg})
+	checkGolden(t, "ewma-packetized2", res, err, goldenResult{
+		events:  37327,
+		realloc: 9,
+		system:  17.713255705793994,
+		classes: []goldenClass{
+			{8253, 15.382751492084667, 47.401682327892594, 459.27114565005849, 2.5550525021638029, 0.2943659861622559},
+			{8389, 20.005978470812842, 54.207099027200762, 532.75086075765148, 3.3430304848743733, 0.30762299539902738},
+		},
+		rates: []float64{0.58806155189635623, 0.41193844810364377},
+	})
+}
+
+func TestGoldenDeterminismEWMATrace(t *testing.T) {
+	cfg := EqualLoadConfig([]float64{1, 2}, 0.5, nil)
+	cfg.Warmup = 500
+	cfg.Horizon = 4000
+	cfg.Seed = 3
+	cfg.Estimator = control.EWMA
+	var trace []TraceRequest
+	tm := 0.0
+	sz := []float64{0.2, 1.7, 0.4, 3.1, 0.9, 0.15, 6.0, 0.5}
+	for i := 0; i < 4000; i++ {
+		tm += 0.35 + float64(i%7)*0.11
+		trace = append(trace, TraceRequest{Time: tm, Class: i % 2, Size: sz[i%len(sz)]})
+	}
+	res, err := RunTrace(cfg, trace)
+	checkGolden(t, "ewma-trace2", res, err, goldenResult{
+		events:  6766,
+		realloc: 4,
+		system:  1657.9128667432815,
+		classes: []goldenClass{
+			{1278, 1899.1874923238893, 1959.0804242790148, 7923.2909159110532, 1432.7943067430942, 3.1346946003700422},
+			{1177, 1395.9341314059689, 1748.9732286010308, 6782.2771459867763, 1465.1235568524498, 3.3963570924124484},
+		},
+		rates: []float64{0.62106946521053896, 0.37893053478946104},
 	})
 }
 

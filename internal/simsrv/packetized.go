@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/des"
 	"psd/internal/rng"
@@ -38,6 +39,7 @@ const (
 	pkArrival int32 = iota
 	pkDone
 	pkRealloc
+	pkPhase
 )
 
 // pkClassMetrics aggregates one class's measurements in packetized mode.
@@ -62,14 +64,20 @@ type pkRunner struct {
 	scheduler   sched.Scheduler
 	ownSCFQ     *sched.SCFQ // retained default-discipline arena
 	ownSCFQSize int         // class count ownSCFQ was built for
-	est         estimator
+	loop        control.Loop
 	workload    core.Workload
 	total       float64
+	phaseIdx    int // next LoadSchedule phase to apply
 
 	metrics    []pkClassMetrics
 	arrivalRng []rng.Source
 	sizeRng    []rng.Source
 	services   []distSampler
+	// curLambda is the phase-adjusted per-class Poisson rate;
+	// nextArrival the pending arrival event, cancellable at phase
+	// switches for the memoryless redraw.
+	curLambda   []float64
+	nextArrival []des.EventID
 
 	busy bool
 	// cur* describe the request occupying the processor; the single
@@ -80,10 +88,9 @@ type pkRunner struct {
 	curStart   float64
 	curArrival float64
 
-	allocClasses []core.Class
+	allocDeltas  []float64
 	allocLambdas []float64
 	allocWeights []float64
-	alloc        core.Allocation // reusable allocator result
 	// lastWeights is the most recent weight vector actually installed in
 	// the scheduler (floored), reported as Result.FinalRates.
 	lastWeights []float64
@@ -101,24 +108,54 @@ func (p *pkRunner) HandleEvent(kind, data int32) {
 		p.onDone()
 	case pkRealloc:
 		p.onRealloc()
+	case pkPhase:
+		p.onPhase()
 	}
 }
 
 func (p *pkRunner) scheduleArrival(i int) {
-	if p.cfg.Classes[i].Lambda <= 0 {
+	p.nextArrival[i] = des.None
+	if p.curLambda[i] <= 0 {
 		return
 	}
-	p.sim.Schedule(p.arrivalRng[i].ExpFloat64(p.cfg.Classes[i].Lambda), p, pkArrival, int32(i))
+	p.nextArrival[i] = p.sim.Schedule(p.arrivalRng[i].ExpFloat64(p.curLambda[i]), p, pkArrival, int32(i))
 }
 
 func (p *pkRunner) onArrival(i int) {
 	size := p.services[i].Sample(&p.sizeRng[i])
-	p.est.observe(i, size)
+	p.loop.Observe(i, size)
 	p.scheduler.Enqueue(sched.Job{Class: i, Size: size, Arrival: p.sim.Now()})
 	if !p.busy {
 		p.dispatch()
 	}
 	p.scheduleArrival(i)
+}
+
+// scheduleNextPhase / onPhase mirror the fluid runner's LoadSchedule
+// handling (see simsrv.go) for the packetized model.
+func (p *pkRunner) scheduleNextPhase() {
+	if p.phaseIdx >= len(p.cfg.LoadSchedule) {
+		return
+	}
+	next := p.cfg.LoadSchedule[p.phaseIdx]
+	if next.Start > p.total {
+		return
+	}
+	p.sim.ScheduleAt(next.Start, p, pkPhase, 0)
+}
+
+func (p *pkRunner) onPhase() {
+	ph := p.cfg.LoadSchedule[p.phaseIdx]
+	p.phaseIdx++
+	for i, cc := range p.cfg.Classes {
+		p.curLambda[i] = cc.Lambda * ph.scaleFor(i)
+		if p.nextArrival[i] != des.None {
+			p.sim.Cancel(p.nextArrival[i])
+			p.nextArrival[i] = des.None
+		}
+		p.scheduleArrival(i)
+	}
+	p.scheduleNextPhase()
 }
 
 // dispatch pulls the scheduler's next choice onto the processor.
@@ -153,18 +190,18 @@ func (p *pkRunner) onDone() {
 	p.dispatch()
 }
 
+// onRealloc drives one tick of the shared control plane and installs the
+// resulting rates as (floored) scheduler weights. Packetized mode runs
+// the loop open-loop: the Feedback flag is not applicable here.
 func (p *pkRunner) onRealloc() {
-	p.est.roll()
-	p.est.lambdasInto(p.allocLambdas, p.cfg.Window)
-	for i, cc := range p.cfg.Classes {
-		l := p.allocLambdas[i]
-		if p.cfg.Oracle {
-			l = cc.Lambda
-		}
-		p.allocClasses[i] = core.Class{Delta: cc.Delta, Lambda: l}
+	var in control.TickInput
+	if p.cfg.Oracle {
+		oracle := p.allocLambdas
+		copy(oracle, p.curLambda)
+		in.OracleLambdas = oracle
 	}
-	if err := core.AllocateInto(p.cfg.Allocator, &p.alloc, p.allocClasses, p.workload); err == nil {
-		positiveFloorInto(p.allocWeights, p.alloc.Rates, p.cfg.MinRate)
+	if rates, err := p.loop.Tick(in); err == nil {
+		positiveFloorInto(p.allocWeights, rates, p.cfg.MinRate)
 		if err := p.scheduler.SetWeights(p.allocWeights); err == nil {
 			copy(p.lastWeights, p.allocWeights)
 			p.reallocOK++
@@ -205,6 +242,7 @@ func (p *pkRunner) reset(pc PacketizedConfig) error {
 	p.cfg = cfg
 	p.workload = w
 	p.total = cfg.Warmup + cfg.Horizon
+	p.phaseIdx = 0
 	p.sim.Reset()
 	p.busy = false
 	p.curClass, p.curSize, p.curStart, p.curArrival = 0, 0, 0, 0
@@ -244,15 +282,33 @@ func (p *pkRunner) reset(pc PacketizedConfig) error {
 	} else {
 		p.services = p.services[:nc]
 	}
-	if cap(p.allocClasses) < nc {
-		p.allocClasses = make([]core.Class, nc)
-	} else {
-		p.allocClasses = p.allocClasses[:nc]
-	}
+	p.allocDeltas = resizeFloat(p.allocDeltas, nc)
 	p.allocLambdas = resizeFloat(p.allocLambdas, nc)
 	p.allocWeights = resizeFloat(p.allocWeights, nc)
 	p.lastWeights = resizeFloat(p.lastWeights, nc)
-	p.est.reset(nc, cfg.HistoryWindows)
+	p.curLambda = resizeFloat(p.curLambda, nc)
+	if cap(p.nextArrival) < nc {
+		p.nextArrival = make([]des.EventID, nc)
+	} else {
+		p.nextArrival = p.nextArrival[:nc]
+	}
+	for i, cc := range cfg.Classes {
+		p.allocDeltas[i] = cc.Delta
+		p.curLambda[i] = cc.Lambda
+		p.nextArrival[i] = des.None
+	}
+	if err := p.loop.Reset(control.LoopConfig{
+		Deltas:           p.allocDeltas,
+		Window:           cfg.Window,
+		Estimator:        cfg.Estimator,
+		HistoryWindows:   cfg.HistoryWindows,
+		EWMAAlpha:        cfg.EWMAAlpha,
+		Allocator:        cfg.Allocator,
+		Workload:         w,
+		EstimateFromWork: cfg.EstimateFromWork,
+	}); err != nil {
+		return err
+	}
 
 	for i, cc := range cfg.Classes {
 		m := &p.metrics[i]
@@ -272,11 +328,12 @@ func (p *pkRunner) reset(pc PacketizedConfig) error {
 
 	// Initial weights from declared rates (fall back to even split),
 	// floored positive because schedulers reject non-positive weights.
+	declared := p.allocLambdas
 	for i, cc := range cfg.Classes {
-		p.allocClasses[i] = core.Class{Delta: cc.Delta, Lambda: cc.Lambda}
+		declared[i] = cc.Lambda
 	}
-	if err := core.AllocateInto(cfg.Allocator, &p.alloc, p.allocClasses, w); err == nil {
-		positiveFloorInto(p.allocWeights, p.alloc.Rates, cfg.MinRate)
+	if a, err := p.loop.AllocateDeclared(declared); err == nil {
+		positiveFloorInto(p.allocWeights, a.Rates, cfg.MinRate)
 	} else {
 		for i := range p.allocWeights {
 			p.allocWeights[i] = 1 / float64(nc)
@@ -334,11 +391,12 @@ func (p *pkRunner) collectInto(res *Result) {
 	if sysCount > 0 {
 		res.SystemSlowdown = sysSlow / sysCount
 	}
+	declared := p.allocLambdas
 	for i, cc := range p.cfg.Classes {
-		p.allocClasses[i] = core.Class{Delta: cc.Delta, Lambda: cc.Lambda}
+		declared[i] = cc.Lambda
 	}
-	if err := core.AllocateInto(p.cfg.Allocator, &p.alloc, p.allocClasses, p.workload); err == nil {
-		copy(res.ExpectedSlowdowns, p.alloc.ExpectedSlowdowns)
+	if a, err := p.loop.AllocateDeclared(declared); err == nil {
+		copy(res.ExpectedSlowdowns, a.ExpectedSlowdowns)
 	} else {
 		for i := range res.ExpectedSlowdowns {
 			res.ExpectedSlowdowns[i] = math.NaN()

@@ -29,6 +29,12 @@ type Aggregate struct {
 	// MeanRatios[i] is the across-run mean of (class i mean slowdown /
 	// class 0 mean slowdown), the statistic plotted in Figures 9–10.
 	MeanRatios []float64
+	// WindowRatioMeans[i][k] is the across-run mean of measurement window
+	// k's achieved class-i/class-0 slowdown ratio (NaN where no run had
+	// both classes completing in that window). Nil unless the aggregator
+	// ran with TrackWindowRatios — the transient-response figures use it
+	// to plot estimator convergence after a load shift.
+	WindowRatioMeans [][]float64
 	// AllocFailures totals allocator fallbacks across runs.
 	AllocFailures int
 	// EventsProcessed totals DES events across runs (for throughput
@@ -52,18 +58,22 @@ type Aggregate struct {
 // floating-point bits, and fixed order is what makes an Aggregate
 // reproducible run-to-run regardless of worker scheduling.
 type Aggregator struct {
-	nc    int
-	runs  int
-	exact bool
+	nc         int
+	numWindows int
+	runs       int
+	exact      bool
 
 	perClass   []stats.Welford
 	ratioMeans []stats.Welford
 	ratios     []stats.StreamingSummary
 	pooled     [][]float64 // exact mode only
-	system     stats.Welford
-	expected   []float64
-	allocFail  int
-	events     uint64
+	// winRatios[i*numWindows+k] accumulates window k's class-i/class-0
+	// ratio across runs; nil unless TrackWindowRatios.
+	winRatios []stats.Welford
+	system    stats.Welford
+	expected  []float64
+	allocFail int
+	events    uint64
 }
 
 // NewAggregator builds a streaming aggregator for replications of cfg
@@ -73,6 +83,7 @@ func NewAggregator(cfg Config) *Aggregator {
 	nc := len(cfg.Classes)
 	a := &Aggregator{
 		nc:         nc,
+		numWindows: int(math.Ceil(cfg.Horizon / cfg.Window)),
 		perClass:   make([]stats.Welford, nc),
 		ratioMeans: make([]stats.Welford, nc),
 		ratios:     make([]stats.StreamingSummary, nc),
@@ -82,6 +93,17 @@ func NewAggregator(cfg Config) *Aggregator {
 		a.ratios[i].Init()
 	}
 	return a
+}
+
+// TrackWindowRatios additionally accumulates each measurement window's
+// achieved slowdown ratios across runs (the transient time series behind
+// the estimator-convergence figure). Must be selected before the first
+// Add; memory is O(classes × windows).
+func (a *Aggregator) TrackWindowRatios() {
+	if a.runs > 0 {
+		panic("simsrv: TrackWindowRatios after Add")
+	}
+	a.winRatios = make([]stats.Welford, a.nc*a.numWindows)
 }
 
 // UseExactQuantiles switches the ratio summaries to the exact batch path:
@@ -128,6 +150,9 @@ func (a *Aggregator) Add(res *Result) {
 				} else {
 					a.ratios[i].Add(x / y)
 				}
+				if a.winRatios != nil && k < a.numWindows {
+					a.winRatios[i*a.numWindows+k].Add(x / y)
+				}
 			}
 		}
 	}
@@ -172,6 +197,20 @@ func (a *Aggregator) Aggregate() (*Aggregate, error) {
 			} else if a.ratios[i].N() > 0 {
 				agg.RatioSummaries[i] = a.ratios[i].Summary()
 			}
+		}
+	}
+	if a.winRatios != nil {
+		agg.WindowRatioMeans = make([][]float64, a.nc)
+		for i := 0; i < a.nc; i++ {
+			row := make([]float64, a.numWindows)
+			for k := 0; k < a.numWindows; k++ {
+				if w := &a.winRatios[i*a.numWindows+k]; w.N() > 0 {
+					row[k] = w.Mean()
+				} else {
+					row[k] = math.NaN()
+				}
+			}
+			agg.WindowRatioMeans[i] = row
 		}
 	}
 	return agg, nil

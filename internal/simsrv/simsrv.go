@@ -89,6 +89,22 @@ type Config struct {
 	Feedback bool
 	// FeedbackGain is the controller gain in (0,1] (default 0.3).
 	FeedbackGain float64
+	// Estimator selects the control plane's load-smoothing strategy:
+	// control.Window (the paper's §4.1 default) or control.EWMA, which
+	// reacts faster after the transients LoadSchedule injects.
+	Estimator control.EstimatorKind
+	// EWMAAlpha is the EWMA smoothing factor in (0,1] (default 0.3);
+	// only used when Estimator is control.EWMA.
+	EWMAAlpha float64
+	// LoadSchedule modulates the Poisson arrival rates over time as a
+	// piecewise-constant phase sequence (load step, flash crowd,
+	// class-mix churn — see LoadStep, FlashCrowd, ClassMixChurn). Empty
+	// means stationary arrivals, the paper's model. Phase switches
+	// exploit exponential memorylessness: each pending arrival is
+	// redrawn at the new rate, so the process is an exact
+	// piecewise-homogeneous Poisson process. Ignored by trace replay,
+	// whose arrivals are externally given.
+	LoadSchedule []LoadPhase
 	// Admission optionally guards the door (related work §5): arrivals
 	// it rejects are dropped and counted per class instead of queued.
 	// Required to keep Eq. 17 feasible under sustained overload (ρ ≥ 1).
@@ -136,6 +152,9 @@ func (c Config) ApplyDefaults() Config {
 	if c.FeedbackGain == 0 {
 		c.FeedbackGain = 0.3
 	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = 0.3
+	}
 	return c
 }
 
@@ -161,6 +180,15 @@ func (c Config) Validate() error {
 	}
 	if c.RecordRequests && !(c.RecordTo > c.RecordFrom) {
 		return fmt.Errorf("simsrv: record range [%v, %v) empty", c.RecordFrom, c.RecordTo)
+	}
+	if !c.Estimator.Valid() {
+		return fmt.Errorf("simsrv: unknown estimator kind %d", int(c.Estimator))
+	}
+	if c.EWMAAlpha != 0 && (!(c.EWMAAlpha > 0) || c.EWMAAlpha > 1) {
+		return fmt.Errorf("simsrv: EWMA alpha %v must be in (0, 1]", c.EWMAAlpha)
+	}
+	if err := validateSchedule(c.LoadSchedule, len(c.Classes)); err != nil {
+		return err
 	}
 	return nil
 }
@@ -320,6 +348,12 @@ type classState struct {
 	current request
 	busy    bool
 
+	// curLambda is the phase-adjusted Poisson rate (= cfg.Lambda while no
+	// LoadSchedule phase is active); nextArrival is the pending arrival
+	// event, cancellable at phase switches for the memoryless redraw.
+	curLambda   float64
+	nextArrival des.EventID
+
 	rate       float64 // nominal allocated rate
 	effRate    float64 // effective rate (= rate unless work-conserving)
 	remaining  float64 // unfinished work of current
@@ -346,6 +380,7 @@ const (
 	evCompletion
 	evRealloc
 	evTraceArrival
+	evPhase
 )
 
 // runner wires the model together for one replication. It is the single
@@ -357,18 +392,16 @@ type runner struct {
 	sim      des.Simulator
 	classes  []classState
 	workload core.Workload
-	est      estimator
-	ctrl     *control.RatioController // nil unless cfg.Feedback
-	total    float64                  // warmup + horizon
-	trace    []TraceRequest           // non-nil only in trace mode
+	loop     control.Loop   // the shared estimate→control→allocate plane
+	total    float64        // warmup + horizon
+	trace    []TraceRequest // non-nil only in trace mode
+	phaseIdx int            // next LoadSchedule phase to apply
 
-	// Reallocation scratch, reused every window tick.
+	// Reallocation scratch, reused every window tick (the loop owns its
+	// own estimator/allocator buffers; these feed its Tick inputs).
 	allocDeltas   []float64
 	allocMeasured []float64
 	allocLambdas  []float64
-	allocLoads    []float64
-	allocClasses  []core.Class
-	alloc         core.Allocation // reusable allocator result
 
 	reallocOK   int
 	reallocFail int
@@ -391,6 +424,8 @@ func (r *runner) HandleEvent(kind, data int32) {
 		r.onRealloc()
 	case evTraceArrival:
 		r.onTraceArrival(int(data))
+	case evPhase:
+		r.onPhase()
 	}
 }
 
@@ -419,6 +454,7 @@ func (r *runner) reset(cfg Config, w core.Workload) error {
 	r.workload = w
 	r.total = cfg.Warmup + cfg.Horizon
 	r.trace = nil
+	r.phaseIdx = 0
 	r.sim.Reset()
 	r.reallocOK = 0
 	r.reallocFail = 0
@@ -449,6 +485,8 @@ func (r *runner) reset(cfg Config, w core.Workload) error {
 		cs.queue.reset()
 		cs.current = request{}
 		cs.busy = false
+		cs.curLambda = cc.Lambda
+		cs.nextArrival = des.None
 		cs.rate = 0
 		cs.effRate = 0
 		cs.remaining = 0
@@ -465,24 +503,26 @@ func (r *runner) reset(cfg Config, w core.Workload) error {
 	r.allocDeltas = resizeFloat(r.allocDeltas, nc)
 	r.allocMeasured = resizeFloat(r.allocMeasured, nc)
 	r.allocLambdas = resizeFloat(r.allocLambdas, nc)
-	r.allocLoads = resizeFloat(r.allocLoads, nc)
-	if cap(r.allocClasses) < nc {
-		r.allocClasses = make([]core.Class, nc)
-	} else {
-		r.allocClasses = r.allocClasses[:nc]
+	for i, cc := range cfg.Classes {
+		r.allocDeltas[i] = cc.Delta
 	}
-	r.est.reset(nc, cfg.HistoryWindows)
-	r.ctrl = nil
-	if cfg.Feedback {
-		deltas := make([]float64, nc)
-		for i, cc := range cfg.Classes {
-			deltas[i] = cc.Delta
-		}
-		ctrl, err := control.NewRatioController(deltas, cfg.FeedbackGain, 8)
-		if err != nil {
-			return err
-		}
-		r.ctrl = ctrl
+	// Note: with per-class service overrides the shared-law assumption of
+	// Eq. 17 is already broken; the loop still gets the Config.Service
+	// moments, which is precisely the mismatch the feedback ablation
+	// studies.
+	if err := r.loop.Reset(control.LoopConfig{
+		Deltas:           r.allocDeltas,
+		Window:           cfg.Window,
+		Estimator:        cfg.Estimator,
+		HistoryWindows:   cfg.HistoryWindows,
+		EWMAAlpha:        cfg.EWMAAlpha,
+		Allocator:        cfg.Allocator,
+		Workload:         w,
+		EstimateFromWork: cfg.EstimateFromWork,
+		Feedback:         cfg.Feedback,
+		FeedbackGain:     cfg.FeedbackGain,
+	}); err != nil {
+		return err
 	}
 
 	// Initial rates: the operator provisions from the declared arrival
@@ -490,41 +530,29 @@ func (r *runner) reset(cfg Config, w core.Workload) error {
 	// drive reallocation. Any error (e.g. declared overload or all-zero
 	// lambdas) falls back to an equal split — the warmup discards the
 	// transient either way.
-	if err := core.AllocateInto(cfg.Allocator, &r.alloc, r.trueClassesInto(), r.workload); err == nil {
-		r.applyRates(r.alloc.Rates)
+	declared := r.allocLambdas // scratch; overwritten at the first tick
+	for i, cc := range cfg.Classes {
+		declared[i] = cc.Lambda
+	}
+	if a, err := r.loop.AllocateDeclared(declared); err == nil {
+		r.applyRates(a.Rates)
 	} else {
-		even := r.allocLambdas // scratch; overwritten at the first tick
-		for i := range even {
-			even[i] = 1 / float64(nc)
+		for i := range declared {
+			declared[i] = 1 / float64(nc)
 		}
-		r.applyRates(even)
+		r.applyRates(declared)
 	}
 	return nil
 }
 
-// trueClassesInto exposes the configured (true) demand to the allocator
-// via the reusable allocClasses scratch.
-func (r *runner) trueClassesInto() []core.Class {
-	for i := range r.classes {
-		cs := &r.classes[i]
-		r.allocClasses[i] = core.Class{Delta: cs.cfg.Delta, Lambda: cs.cfg.Lambda}
-	}
-	return r.allocClasses
-}
-
-// allocWorkload returns the moment set given to the allocator. With
-// per-class service overrides the shared-law assumption of Eq. 17 is
-// already broken; we still hand the allocator the Config.Service moments,
-// which is precisely the mismatch the PDD-vs-PSD ablation studies.
-func (r *runner) allocWorkload() core.Workload { return r.workload }
-
 func (r *runner) scheduleNextArrival(i int) {
 	cs := &r.classes[i]
-	if cs.cfg.Lambda <= 0 {
+	cs.nextArrival = des.None
+	if cs.curLambda <= 0 {
 		return
 	}
-	delay := cs.arrivalRng.ExpFloat64(cs.cfg.Lambda)
-	r.sim.Schedule(delay, r, evArrival, cs.idx)
+	delay := cs.arrivalRng.ExpFloat64(cs.curLambda)
+	cs.nextArrival = r.sim.Schedule(delay, r, evArrival, cs.idx)
 }
 
 // onArrival handles one Poisson arrival for class i: sample a size, pass
@@ -539,7 +567,7 @@ func (r *runner) onArrival(i int) {
 		r.scheduleNextArrival(i)
 		return
 	}
-	r.est.observe(i, size)
+	r.loop.Observe(i, size)
 	cs.queue.push(request{class: i, size: size, arrival: now})
 	if !cs.busy {
 		r.startService(cs)
@@ -689,19 +717,14 @@ func (r *runner) scheduleReallocation() {
 	r.sim.Schedule(r.cfg.Window, r, evRealloc, 0)
 }
 
-// onRealloc closes the estimation window, consults the allocator and
-// installs the new rates. All slices are preallocated scratch and the
-// allocator runs through core.AllocateInto into a reusable Allocation, so
-// a window tick performs no steady-state allocation at all.
+// onRealloc drives one tick of the shared control plane: feed it this
+// window's measured slowdowns (feedback mode) and the true rates (oracle
+// mode), let control.Loop close the estimation window and re-run the
+// allocator, and install the resulting rates. The loop owns every buffer
+// it needs, so a window tick performs no steady-state allocation at all.
 func (r *runner) onRealloc() {
-	r.est.roll()
-	deltas := r.allocDeltas
-	for i := range r.classes {
-		deltas[i] = r.classes[i].cfg.Delta
-	}
-	if r.ctrl != nil {
-		// Feed the controller this window's measured slowdowns and
-		// let it trim the effective deltas.
+	var in control.TickInput
+	if r.cfg.Feedback {
 		measured := r.allocMeasured
 		for i := range r.classes {
 			cs := &r.classes[i]
@@ -712,29 +735,17 @@ func (r *runner) onRealloc() {
 			}
 			cs.winSlow = stats.Welford{}
 		}
-		_ = r.ctrl.Update(measured)
-		copy(deltas, r.ctrl.Deltas())
+		in.MeasuredSlowdowns = measured
 	}
-	classes := r.allocClasses
-	lambdas := r.allocLambdas
-	r.est.lambdasInto(lambdas, r.cfg.Window)
-	if r.cfg.EstimateFromWork {
-		loads := r.allocLoads
-		r.est.loadsInto(loads, r.cfg.Window)
-		for i := range lambdas {
-			lambdas[i] = loads[i] / r.workload.MeanSize
+	if r.cfg.Oracle {
+		oracle := r.allocLambdas
+		for i := range r.classes {
+			oracle[i] = r.classes[i].curLambda
 		}
+		in.OracleLambdas = oracle
 	}
-	for i := range r.classes {
-		cs := &r.classes[i]
-		l := lambdas[i]
-		if r.cfg.Oracle {
-			l = cs.cfg.Lambda
-		}
-		classes[i] = core.Class{Delta: deltas[i], Lambda: l}
-	}
-	if err := core.AllocateInto(r.cfg.Allocator, &r.alloc, classes, r.allocWorkload()); err == nil {
-		r.applyRates(r.alloc.Rates)
+	if rates, err := r.loop.Tick(in); err == nil {
+		r.applyRates(rates)
 		r.reallocOK++
 	} else {
 		// Transient estimate infeasibility (ρ̂ ≥ 1 at very high
@@ -744,6 +755,38 @@ func (r *runner) onRealloc() {
 	if r.sim.Now() < r.total {
 		r.scheduleReallocation()
 	}
+}
+
+// scheduleNextPhase arms the next LoadSchedule phase switch, if any lies
+// within the run.
+func (r *runner) scheduleNextPhase() {
+	if r.phaseIdx >= len(r.cfg.LoadSchedule) {
+		return
+	}
+	next := r.cfg.LoadSchedule[r.phaseIdx]
+	if next.Start > r.total {
+		return
+	}
+	r.sim.ScheduleAt(next.Start, r, evPhase, 0)
+}
+
+// onPhase applies one LoadSchedule phase: rescale every class's arrival
+// rate and redraw its pending arrival at the new rate (exact for Poisson
+// processes by memorylessness — the residual exponential wait under the
+// new rate is a fresh draw).
+func (r *runner) onPhase() {
+	ph := r.cfg.LoadSchedule[r.phaseIdx]
+	r.phaseIdx++
+	for i := range r.classes {
+		cs := &r.classes[i]
+		cs.curLambda = cs.cfg.Lambda * ph.scaleFor(i)
+		if cs.nextArrival != des.None {
+			r.sim.Cancel(cs.nextArrival)
+			cs.nextArrival = des.None
+		}
+		r.scheduleNextArrival(i)
+	}
+	r.scheduleNextPhase()
 }
 
 // collectInto assembles the Result, reusing res's slice capacity.
@@ -793,10 +836,14 @@ func (r *runner) collectInto(res *Result) {
 	if sysCount > 0 {
 		res.SystemSlowdown = sysSlow / sysCount
 	}
-	// Model predictions under true demand (Eq. 18 when PSD; otherwise
-	// Theorem 1 at the allocator's own rates under true demand).
-	if err := core.AllocateInto(r.cfg.Allocator, &r.alloc, r.trueClassesInto(), r.workload); err == nil {
-		copy(res.ExpectedSlowdowns, r.alloc.ExpectedSlowdowns)
+	// Model predictions under true (declared, base-phase) demand — Eq. 18
+	// when PSD; otherwise Theorem 1 at the allocator's own rates.
+	declared := r.allocLambdas
+	for i, cc := range r.cfg.Classes {
+		declared[i] = cc.Lambda
+	}
+	if a, err := r.loop.AllocateDeclared(declared); err == nil {
+		copy(res.ExpectedSlowdowns, a.ExpectedSlowdowns)
 	} else {
 		for i := range res.ExpectedSlowdowns {
 			res.ExpectedSlowdowns[i] = math.NaN()

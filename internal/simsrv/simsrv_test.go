@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/dist"
 	"psd/internal/queueing"
@@ -458,39 +459,48 @@ func TestHighLoadStability(t *testing.T) {
 	}
 }
 
-func TestEstimator(t *testing.T) {
-	var e estimator
-	e.reset(2, 3)
-	got := make([]float64, 2)
-	e.lambdasInto(got, 100)
-	if got[0] != 0 || got[1] != 0 {
-		t.Fatalf("empty estimator lambdas = %v", got)
+// TestEstimatorAxis pins the estimator as a scenario dimension: both
+// kinds run deterministically through the full simulator and produce
+// distinct (but same-order-of-magnitude) trajectories, and an invalid
+// kind is rejected up front.
+func TestEstimatorAxis(t *testing.T) {
+	cfg := fastConfig([]float64{1, 2}, 0.6)
+	win, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	e.observe(0, 2.0)
-	e.observe(0, 3.0)
-	e.observe(1, 1.0)
-	e.roll()
-	l := make([]float64, 2)
-	e.lambdasInto(l, 100)
-	if relErr(l[0], 0.02) > 1e-12 || relErr(l[1], 0.01) > 1e-12 {
-		t.Fatalf("lambdas after 1 window = %v", l)
+	cfg.Estimator = control.EWMA
+	ew, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	loads := make([]float64, 2)
-	e.loadsInto(loads, 100)
-	if relErr(loads[0], 0.05) > 1e-12 {
-		t.Fatalf("loads = %v", loads)
+	ew2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Fill beyond history; ring must keep only the last 3 windows.
-	for w := 0; w < 5; w++ {
-		e.observe(0, 1.0) // one arrival per window
-		e.roll()
+	if ew.SystemSlowdown != ew2.SystemSlowdown || ew.EventsProcessed != ew2.EventsProcessed {
+		t.Fatal("EWMA mode not deterministic per seed")
 	}
-	e.lambdasInto(l, 100)
-	if relErr(l[0], 1.0/100) > 1e-12 {
-		t.Fatalf("ring lambdas = %v, want 0.01", l)
+	// Same arrival streams, different smoothing: the realized rate
+	// trajectories — and therefore completions — must differ.
+	if win.SystemSlowdown == ew.SystemSlowdown {
+		t.Fatal("window and EWMA estimation produced identical trajectories")
 	}
-	if l[1] != 0 {
-		t.Fatalf("stale class-1 data leaked: %v", l)
+	if !(ew.Classes[0].MeanSlowdown < ew.Classes[1].MeanSlowdown) {
+		t.Fatalf("EWMA mode lost differentiation: %v vs %v",
+			ew.Classes[0].MeanSlowdown, ew.Classes[1].MeanSlowdown)
+	}
+
+	bad := fastConfig([]float64{1, 2}, 0.5)
+	bad.Estimator = control.EstimatorKind(99)
+	if err := bad.ApplyDefaults().Validate(); err == nil {
+		t.Fatal("accepted unknown estimator kind")
+	}
+	badAlpha := fastConfig([]float64{1, 2}, 0.5)
+	badAlpha.Estimator = control.EWMA
+	badAlpha.EWMAAlpha = 1.5
+	if err := badAlpha.ApplyDefaults().Validate(); err == nil {
+		t.Fatal("accepted out-of-range EWMA alpha")
 	}
 }
 

@@ -145,6 +145,8 @@ func (s *Simulator) RunInto(res *Result) error {
 		}
 		// Reallocation ticks at every window boundary.
 		r.scheduleReallocation()
+		// First LoadSchedule phase switch, when configured.
+		r.scheduleNextPhase()
 		r.sim.RunUntil(r.total)
 		r.collectInto(res)
 	case modeTrace:
@@ -159,6 +161,7 @@ func (s *Simulator) RunInto(res *Result) error {
 			p.scheduleArrival(i)
 		}
 		p.sim.Schedule(p.cfg.Window, p, pkRealloc, 0)
+		p.scheduleNextPhase()
 		p.sim.RunUntil(p.total)
 		p.collectInto(res)
 	default:

@@ -79,7 +79,7 @@ func (r *runner) scheduleTrace(idx int) {
 func (r *runner) onTraceArrival(idx int) {
 	tr := r.trace[idx]
 	cs := &r.classes[tr.Class]
-	r.est.observe(tr.Class, tr.Size)
+	r.loop.Observe(tr.Class, tr.Size)
 	cs.queue.push(request{class: tr.Class, size: tr.Size, arrival: tr.Time})
 	if !cs.busy {
 		r.startService(cs)

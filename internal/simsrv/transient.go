@@ -1,0 +1,88 @@
+package simsrv
+
+import (
+	"fmt"
+	"math"
+)
+
+// LoadPhase is one segment of a piecewise-constant arrival-rate
+// modulation: from Start (absolute simulation time) until the next phase
+// begins, class i's Poisson rate is ClassConfig.Lambda × its scale
+// factor. The transient scenarios this enables — load steps, flash
+// crowds, class-mix churn — are exactly where window-vs-EWMA estimation
+// differs (the estimator's lag after a shift), which the paper's
+// stationary experiments never exercise.
+type LoadPhase struct {
+	// Start is the phase's onset, in absolute simulation time (warmup
+	// included, matching the estimator's clock).
+	Start float64
+	// Scale multiplies each class's configured Lambda. Length 1 applies
+	// one factor to every class; otherwise the length must equal the
+	// class count.
+	Scale []float64
+}
+
+// scaleFor returns the phase's factor for class i.
+func (p LoadPhase) scaleFor(i int) float64 {
+	if len(p.Scale) == 1 {
+		return p.Scale[0]
+	}
+	return p.Scale[i]
+}
+
+// LoadStep builds a single global load step: all classes jump to factor×
+// their configured rates at time at.
+func LoadStep(at, factor float64) []LoadPhase {
+	return []LoadPhase{{Start: at, Scale: []float64{factor}}}
+}
+
+// FlashCrowd builds a transient surge: factor× the configured rates
+// during [at, at+duration), then back to the base rates.
+func FlashCrowd(at, duration, factor float64) []LoadPhase {
+	return []LoadPhase{
+		{Start: at, Scale: []float64{factor}},
+		{Start: at + duration, Scale: []float64{1}},
+	}
+}
+
+// ClassMixChurn rotates a traffic surge across classes while keeping the
+// aggregate offered load roughly constant: starting at time at, phase k
+// (of the given count, each period long) runs class k mod classes at hi×
+// its configured rate and every other class at lo×. With equal per-class
+// base loads, hi + (classes−1)·lo = classes keeps the total unchanged.
+func ClassMixChurn(classes int, at, period float64, count int, hi, lo float64) []LoadPhase {
+	phases := make([]LoadPhase, count)
+	for k := range phases {
+		scale := make([]float64, classes)
+		for i := range scale {
+			scale[i] = lo
+		}
+		scale[k%classes] = hi
+		phases[k] = LoadPhase{Start: at + float64(k)*period, Scale: scale}
+	}
+	return phases
+}
+
+// validateSchedule checks a load schedule against the class count.
+func validateSchedule(schedule []LoadPhase, classes int) error {
+	prev := math.Inf(-1)
+	for k, ph := range schedule {
+		if !(ph.Start >= 0) || math.IsInf(ph.Start, 0) {
+			return fmt.Errorf("simsrv: load phase %d start %v must be finite and >= 0", k, ph.Start)
+		}
+		if ph.Start <= prev && k > 0 {
+			return fmt.Errorf("simsrv: load phase %d start %v not after previous %v", k, ph.Start, prev)
+		}
+		prev = ph.Start
+		if len(ph.Scale) != 1 && len(ph.Scale) != classes {
+			return fmt.Errorf("simsrv: load phase %d has %d scale factors for %d classes (want 1 or %d)",
+				k, len(ph.Scale), classes, classes)
+		}
+		for i, s := range ph.Scale {
+			if !(s >= 0) || math.IsInf(s, 0) {
+				return fmt.Errorf("simsrv: load phase %d scale[%d] = %v must be finite and >= 0", k, i, s)
+			}
+		}
+	}
+	return nil
+}

@@ -58,6 +58,12 @@ type Point struct {
 	// streams, which for a fixed trace makes runs 1..n-1 redundant —
 	// trace points normally use Runs = 1.
 	Trace []simsrv.TraceRequest
+	// TrackWindowRatios asks the point's aggregator to accumulate the
+	// per-measurement-window achieved slowdown ratios across runs
+	// (Aggregate.WindowRatioMeans) — the transient time series behind the
+	// estimator-convergence figure. Costs O(classes × windows) memory per
+	// point.
+	TrackWindowRatios bool
 }
 
 // Engine runs grids. The zero value uses GOMAXPROCS workers and streaming
@@ -108,6 +114,9 @@ func (e *Engine) Run(points []Point) ([]*simsrv.Aggregate, error) {
 		aggs[i] = simsrv.NewAggregator(p.Cfg)
 		if e.ExactQuantiles {
 			aggs[i].UseExactQuantiles()
+		}
+		if p.TrackWindowRatios {
+			aggs[i].TrackWindowRatios()
 		}
 	}
 

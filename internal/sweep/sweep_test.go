@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"psd/internal/control"
 	"psd/internal/simsrv"
 )
 
@@ -176,6 +177,75 @@ func TestSweepExactVsStreamingQuantiles(t *testing.T) {
 		if math.Abs(q.got-q.want) > tol {
 			t.Errorf("%s: streaming %v vs exact %v (tol %v)", q.name, q.got, q.want, tol)
 		}
+	}
+}
+
+// TestSweepWindowRatioTracking: a tracked point must expose the
+// per-window ratio time series, consistent across worker counts, while
+// untracked points stay nil.
+func TestSweepWindowRatioTracking(t *testing.T) {
+	tracked := point([]float64{1, 2}, 0.6, 5)
+	tracked.TrackWindowRatios = true
+	plain := point([]float64{1, 2}, 0.6, 5)
+	aggs, err := Run([]Point{tracked, plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[1].WindowRatioMeans != nil {
+		t.Fatal("untracked point grew a window series")
+	}
+	wr := aggs[0].WindowRatioMeans
+	if wr == nil || len(wr) != 2 {
+		t.Fatalf("window ratio series shape: %v", wr)
+	}
+	// 8000 tu horizon / 1000 tu windows = 8 windows.
+	if len(wr[1]) != 8 {
+		t.Fatalf("window count = %d, want 8", len(wr[1]))
+	}
+	valid := 0
+	for _, v := range wr[1] {
+		if !math.IsNaN(v) {
+			if v <= 0 {
+				t.Fatalf("non-positive mean ratio %v", v)
+			}
+			valid++
+		}
+	}
+	if valid == 0 {
+		t.Fatal("no window had a valid pooled ratio")
+	}
+	// Worker-count invariance extends to the tracked series.
+	many, err := (&Engine{Workers: 4}).Run([]Point{tracked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range wr[1] {
+		a, b := wr[1][k], many[0].WindowRatioMeans[1][k]
+		if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+			t.Fatalf("window %d series depends on worker count: %v vs %v", k, a, b)
+		}
+	}
+}
+
+// TestSweepEstimatorAxis: estimator choice flows through Point.Cfg as a
+// grid dimension, and both kinds aggregate deterministically.
+func TestSweepEstimatorAxis(t *testing.T) {
+	win := point([]float64{1, 2}, 0.6, 4)
+	ew := win
+	ew.Cfg.Estimator = control.EWMA
+	aggs, err := Run([]Point{win, ew})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[0].MeanSlowdowns[1] == aggs[1].MeanSlowdowns[1] {
+		t.Fatal("estimator axis had no effect on the grid")
+	}
+	again, err := Run([]Point{ew})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[1].MeanSlowdowns[1] != again[0].MeanSlowdowns[1] {
+		t.Fatal("EWMA point not deterministic")
 	}
 }
 

@@ -1,6 +1,7 @@
 package psd
 
 import (
+	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/dist"
 	"psd/internal/figures"
@@ -40,7 +41,40 @@ type (
 	SweepPoint = sweep.Point
 	// SweepEngine runs scenario grids over a pool of reusable arenas.
 	SweepEngine = sweep.Engine
+	// ControlLoop is the shared estimate→control→allocate plane driven by
+	// both the simulator and the live HTTP server.
+	ControlLoop = control.Loop
+	// ControlLoopConfig parametrizes a ControlLoop.
+	ControlLoopConfig = control.LoopConfig
+	// EstimatorKind selects the control plane's load smoothing.
+	EstimatorKind = control.EstimatorKind
+	// LoadPhase is one segment of a transient arrival-rate schedule.
+	LoadPhase = simsrv.LoadPhase
 )
+
+// Estimator kinds for SimConfig.Estimator / ControlLoopConfig.Estimator.
+const (
+	// WindowEstimation is the paper's §4.1 sliding-window mean.
+	WindowEstimation = control.Window
+	// EWMAEstimation reacts faster after load shifts at equal noise.
+	EWMAEstimation = control.EWMA
+)
+
+// LoadStep builds a SimConfig.LoadSchedule with one global rate step at
+// time at (absolute simulation time, warmup included).
+func LoadStep(at, factor float64) []LoadPhase { return simsrv.LoadStep(at, factor) }
+
+// FlashCrowd builds a transient surge schedule: factor× the configured
+// rates during [at, at+duration), then back to base.
+func FlashCrowd(at, duration, factor float64) []LoadPhase {
+	return simsrv.FlashCrowd(at, duration, factor)
+}
+
+// ClassMixChurn rotates a traffic surge across classes every period while
+// keeping the aggregate offered load roughly constant.
+func ClassMixChurn(classes int, at, period float64, count int, hi, lo float64) []LoadPhase {
+	return simsrv.ClassMixChurn(classes, at, period, count, hi, lo)
+}
 
 // NewBoundedPareto constructs BP(k, p, α); the paper's default is
 // BP(0.1, 100, 1.5) via PaperWorkload.
