@@ -4,9 +4,13 @@
 // Usage:
 //
 //	psdload -url http://localhost:8080/ -lambdas 0.1,0.1 -duration 30s
+//	psdload -lambdas 0.1,0.1 -duration 30s -step-after 15s -step-lambdas 0.3,0.3
 //
 // Lambdas are per time unit (match the server's -timeunit); each class
-// gets an independent Poisson stream with Bounded Pareto sizes.
+// gets an independent Poisson stream with Bounded Pareto sizes. With
+// -step-after/-step-lambdas the run becomes a two-phase load step and
+// the report breaks out each phase — the client-side twin of the
+// simulator's LoadStep schedule.
 package main
 
 import (
@@ -24,14 +28,17 @@ import (
 
 func main() {
 	var (
-		url      = flag.String("url", "http://localhost:8080/", "work endpoint URL")
-		lambdas  = flag.String("lambdas", "0.1,0.1", "per-class arrival rates (requests per time unit)")
-		timeUnit = flag.Duration("timeunit", 10*time.Millisecond, "wall-clock duration of one time unit (match server)")
-		duration = flag.Duration("duration", 30*time.Second, "run length")
-		alpha    = flag.Float64("alpha", 1.5, "Bounded Pareto shape for request sizes")
-		lower    = flag.Float64("lower", 0.1, "Bounded Pareto lower bound")
-		upper    = flag.Float64("upper", 100, "Bounded Pareto upper bound")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		url         = flag.String("url", "http://localhost:8080/", "work endpoint URL")
+		lambdas     = flag.String("lambdas", "0.1,0.1", "per-class arrival rates (requests per time unit)")
+		timeUnit    = flag.Duration("timeunit", 10*time.Millisecond, "wall-clock duration of one time unit (match server)")
+		duration    = flag.Duration("duration", 30*time.Second, "run length")
+		stepAfter   = flag.Duration("step-after", 0, "step the load at this point of the run (0: no step)")
+		stepLambdas = flag.String("step-lambdas", "", "per-class arrival rates after -step-after")
+		drain       = flag.Duration("drain", 0, "extra wait for in-flight requests after arrivals stop")
+		alpha       = flag.Float64("alpha", 1.5, "Bounded Pareto shape for request sizes")
+		lower       = flag.Float64("lower", 0.1, "Bounded Pareto lower bound")
+		upper       = flag.Float64("upper", 100, "Bounded Pareto upper bound")
+		seed        = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
@@ -44,30 +51,63 @@ func main() {
 		fatalf("bad Bounded Pareto parameters: %v", err)
 	}
 
-	fmt.Printf("driving %v of load at %s (lambdas %v per %v time unit)\n",
-		*duration, *url, ls, *timeUnit)
-	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+	cfg := loadgen.Config{
 		BaseURL:  *url,
-		Lambdas:  ls,
 		TimeUnit: *timeUnit,
 		Service:  svc,
-		Duration: *duration,
+		Drain:    *drain,
 		Seed:     *seed,
-	})
+	}
+	if *stepAfter > 0 {
+		if !(*stepAfter < *duration) {
+			fatalf("-step-after %v must fall inside -duration %v", *stepAfter, *duration)
+		}
+		ls2, err := parseFloats(*stepLambdas)
+		if err != nil {
+			fatalf("bad -step-lambdas: %v", err)
+		}
+		cfg.Phases = []loadgen.Phase{
+			{Lambdas: ls, Duration: *stepAfter},
+			{Lambdas: ls2, Duration: *duration - *stepAfter},
+		}
+		fmt.Printf("driving %v of load at %s (lambdas %v → %v at %v, per %v time unit)\n",
+			*duration, *url, ls, ls2, *stepAfter, *timeUnit)
+	} else {
+		cfg.Lambdas = ls
+		cfg.Duration = *duration
+		fmt.Printf("driving %v of load at %s (lambdas %v per %v time unit)\n",
+			*duration, *url, ls, *timeUnit)
+	}
+	rep, err := loadgen.Run(context.Background(), cfg)
 	if err != nil {
 		fatalf("load run failed: %v", err)
 	}
 
-	fmt.Printf("\n%-8s %-8s %-10s %-8s %-14s %-12s %-14s\n",
-		"class", "sent", "completed", "errors", "mean slowdown", "p95 slow", "mean lat (ms)")
-	for i, c := range rep.Classes {
-		fmt.Printf("%-8d %-8d %-10d %-8d %-14.4f %-12.4f %-14.2f\n",
-			i+1, c.Sent, c.Completed, c.Errors, c.MeanSlowdown, c.P95Slowdown, c.MeanLatencyMs)
+	printClasses("whole run", rep.Classes)
+	if len(rep.Phases) > 1 {
+		for pi, classes := range rep.Phases {
+			printClasses(fmt.Sprintf("phase %d", pi+1), classes)
+		}
 	}
 	for i := 1; i < len(rep.Classes); i++ {
 		fmt.Printf("achieved slowdown ratio class %d/1: %.4f\n", i+1, rep.SlowdownRatio(i))
+		if len(rep.Phases) > 1 {
+			for pi := range rep.Phases {
+				fmt.Printf("  phase %d: %.4f\n", pi+1, rep.PhaseSlowdownRatio(pi, i))
+			}
+		}
 	}
 	fmt.Printf("elapsed: %v\n", rep.Elapsed.Round(time.Millisecond))
+}
+
+func printClasses(title string, classes []loadgen.ClassReport) {
+	fmt.Printf("\n%s:\n%-8s %-8s %-10s %-8s %-14s %-12s %-14s %-12s\n",
+		title, "class", "sent", "completed", "errors", "mean slowdown", "p95 slow", "mean lat (ms)", "ach/nom λ")
+	for i, c := range classes {
+		fmt.Printf("%-8d %-8d %-10d %-8d %-14.4f %-12.4f %-14.2f %.3f/%.3f\n",
+			i+1, c.Sent, c.Completed, c.Errors, c.MeanSlowdown, c.P95Slowdown, c.MeanLatencyMs,
+			c.AchievedRate, c.NominalRate)
+	}
 }
 
 func parseFloats(s string) ([]float64, error) {

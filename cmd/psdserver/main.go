@@ -11,6 +11,9 @@
 // A request's class comes from the X-PSD-Class header or ?class=; its
 // work size from ?size= (work units) or, if absent, a Bounded Pareto
 // sample. One work unit at full rate costs -timeunit of wall clock.
+// An optional pre-queue admission gate (-admission utilization |
+// tokenbucket) sheds overload with 503s before it can bias the load
+// estimator; shed demand is accounted at /metrics.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"psd/internal/admission"
 	"psd/internal/control"
 	"psd/internal/dist"
 	"psd/internal/httpsrv"
@@ -40,6 +44,11 @@ func main() {
 		feedback  = flag.Bool("feedback", false, "enable the slowdown-ratio feedback controller")
 		estimator = flag.String("estimator", "window", "load estimator: window (paper) | ewma")
 		ewmaAlpha = flag.Float64("ewma-alpha", 0.3, "EWMA smoothing factor in (0,1] (with -estimator ewma)")
+		admPolicy = flag.String("admission", "none", "pre-queue admission gate: none | utilization | tokenbucket")
+		admBound  = flag.Float64("admission-bound", 0.9, "utilization gate: admitted-load bound in (0,1]")
+		admTau    = flag.Float64("admission-tau", 0, "utilization gate: smoothing time constant in time units (0: the reallocation window)")
+		admRates  = flag.String("admission-rates", "", "token bucket: per-class work rates in work units per time unit (default: -admission-bound split evenly)")
+		admBurst  = flag.Float64("admission-burst", 10, "token bucket: per-class credit cap in work units")
 		seed      = flag.Uint64("seed", 1, "server-side sampling seed")
 	)
 	flag.Parse()
@@ -56,6 +65,10 @@ func main() {
 	if err != nil {
 		fatalf("bad -estimator: %v", err)
 	}
+	gate, err := buildAdmission(*admPolicy, *admBound, *admTau, *window, *admRates, *admBurst, len(ds))
+	if err != nil {
+		fatalf("bad admission flags: %v", err)
+	}
 	srv, err := httpsrv.New(httpsrv.Config{
 		Deltas:    ds,
 		Service:   svc,
@@ -64,6 +77,7 @@ func main() {
 		Feedback:  *feedback,
 		Estimator: kind,
 		EWMAAlpha: *ewmaAlpha,
+		Admission: gate,
 		Seed:      *seed,
 	})
 	if err != nil {
@@ -71,11 +85,44 @@ func main() {
 	}
 	defer srv.Close()
 
-	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), estimator=%s, feedback=%v",
-		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), kind, *feedback)
+	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), estimator=%s, feedback=%v, admission=%s",
+		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), kind, *feedback, *admPolicy)
 	log.Printf("work endpoint: GET /?class=N&size=X   metrics: GET /metrics")
 	if err := http.ListenAndServe(*addr, srv.Mux()); err != nil {
 		fatalf("%v", err)
+	}
+}
+
+// buildAdmission maps the -admission* flags to a controller; nil means
+// admit everything.
+func buildAdmission(policy string, bound, tau, window float64, ratesCSV string, burst float64, classes int) (admission.Controller, error) {
+	switch policy {
+	case "none", "":
+		return nil, nil
+	case "utilization":
+		if tau == 0 {
+			tau = window
+		}
+		return admission.NewUtilizationBound(bound, tau)
+	case "tokenbucket":
+		var rates []float64
+		if ratesCSV == "" {
+			rates = make([]float64, classes)
+			for i := range rates {
+				rates[i] = bound / float64(classes)
+			}
+		} else {
+			var err error
+			if rates, err = parseFloats(ratesCSV); err != nil {
+				return nil, err
+			}
+			if len(rates) != classes {
+				return nil, fmt.Errorf("-admission-rates has %d entries for %d classes", len(rates), classes)
+			}
+		}
+		return admission.NewTokenBucket(rates, burst)
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want none, utilization or tokenbucket)", policy)
 	}
 }
 

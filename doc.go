@@ -52,14 +52,19 @@
 //	                   estimation, optional feedback trim) driven by both
 //	                   the simulator and the live HTTP server
 //	internal/admission overload protection complementing differentiation
+//	                   (utilization bound, per-class token bucket), shared
+//	                   by the simulator and the live server's pre-queue gate
 //	internal/simsrv    the paper's simulation model (Fig. 1) as a
 //	                   reusable arena: Simulator Reset/RunInto plus
 //	                   streaming replication aggregation
 //	internal/sweep     scenario-grid engine: (point, replication) task
 //	                   queue over a pool of per-worker arenas
 //	internal/workload  session-based e-commerce request streams
-//	internal/loadgen   open-loop Poisson HTTP load driver
-//	internal/httpsrv   PSD on a real net/http server
+//	internal/loadgen   open-loop Poisson HTTP load driver with phased
+//	                   (load-step) schedules and per-phase reports
+//	internal/httpsrv   PSD on a real net/http server: rate-change-aware
+//	                   worker pacing (GPS fluid model under rate churn),
+//	                   pluggable admission gate, overload-honest estimation
 //	internal/figures   Figures 2–12 regeneration (on internal/sweep)
 //
 // Start with AllocateRates for the analytic strategy, Simulate for the

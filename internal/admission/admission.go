@@ -29,6 +29,16 @@ type Controller interface {
 	Name() string
 }
 
+// Refunder is implemented by controllers that can return admission
+// credit when an admitted request is dropped before reaching service
+// (e.g. its class queue turned out to be full): without the refund the
+// gate's admitted-load state double-counts demand that was never served
+// and sheds later traffic below the contracted rate. now must be from
+// the same clock as Admit.
+type Refunder interface {
+	Refund(class int, size, now float64)
+}
+
 // AlwaysAdmit admits everything — the open-door control.
 type AlwaysAdmit struct{}
 
@@ -78,6 +88,21 @@ func (u *UtilizationBound) Admit(_ int, size, now float64) bool {
 	}
 	u.level += size
 	return true
+}
+
+// Refund implements Refunder: the dropped request's work leaves the
+// leaky integrator. The decay since the charge is ignored (refunds
+// follow their charge within a request's front-door latency, so the
+// drift is negligible); the level is clamped at zero.
+func (u *UtilizationBound) Refund(_ int, size, now float64) {
+	if now > u.last {
+		u.level *= math.Exp(-(now - u.last) / u.Tau)
+		u.last = now
+	}
+	u.level -= size
+	if u.level < 0 {
+		u.level = 0
+	}
 }
 
 // Load returns the current smoothed admitted load estimate at time now.
@@ -151,6 +176,18 @@ func (tb *TokenBucket) Admit(class int, size, now float64) bool {
 	return true
 }
 
+// Refund implements Refunder: the dropped request's credit returns to
+// its class bucket, capped at Burst.
+func (tb *TokenBucket) Refund(class int, size, _ float64) {
+	if class < 0 || class >= len(tb.Rates) {
+		return
+	}
+	tb.tokens[class] += size
+	if tb.tokens[class] > tb.Burst {
+		tb.tokens[class] = tb.Burst
+	}
+}
+
 // Tokens returns class i's current credit at time now.
 func (tb *TokenBucket) Tokens(class int, now float64) float64 {
 	if class < 0 || class >= len(tb.Rates) {
@@ -170,4 +207,6 @@ var (
 	_ Controller = AlwaysAdmit{}
 	_ Controller = (*UtilizationBound)(nil)
 	_ Controller = (*TokenBucket)(nil)
+	_ Refunder   = (*UtilizationBound)(nil)
+	_ Refunder   = (*TokenBucket)(nil)
 )

@@ -159,3 +159,37 @@ func TestTokenBucketBadClass(t *testing.T) {
 		t.Fatal("out-of-range tokens should be 0")
 	}
 }
+
+func TestTokenBucketRefund(t *testing.T) {
+	tb, _ := NewTokenBucket([]float64{1e-9, 1e-9}, 10)
+	if !tb.Admit(0, 8, 0) {
+		t.Fatal("size-8 should fit burst 10")
+	}
+	tb.Refund(0, 8, 0)
+	if got := tb.Tokens(0, 0); got != 10 {
+		t.Fatalf("tokens after refund = %v, want 10", got)
+	}
+	tb.Refund(0, 99, 0) // over-refund is capped at burst
+	if got := tb.Tokens(0, 0); got != 10 {
+		t.Fatalf("tokens after over-refund = %v, want cap 10", got)
+	}
+	tb.Refund(7, 1, 0) // out-of-range class is a no-op
+}
+
+func TestUtilizationBoundRefund(t *testing.T) {
+	u, _ := NewUtilizationBound(0.5, 100)
+	if !u.Admit(0, 40, 0) {
+		t.Fatal("size-40 should pass bound 0.5·tau 100")
+	}
+	if u.Admit(0, 40, 0) {
+		t.Fatal("second size-40 should exceed the bound")
+	}
+	u.Refund(0, 40, 0)
+	if !u.Admit(0, 40, 0) {
+		t.Fatal("refunded credit should re-admit the same demand")
+	}
+	u.Refund(0, 1e9, 0) // over-refund clamps at zero level
+	if got := u.Load(0); got != 0 {
+		t.Fatalf("load after over-refund = %v, want 0", got)
+	}
+}

@@ -3,20 +3,31 @@
 //
 // Architecture (the paper's Fig. 1 realized on the HTTP path):
 //
-//	requests → classifier → per-class FCFS queue → per-class task-server
-//	goroutine (paced to its allocated rate) → response
+//	requests → admission gate → classifier → per-class FCFS queue →
+//	per-class task-server goroutine (paced to its allocated rate) →
+//	response
 //
 // Each incoming request is classified (X-PSD-Class header or ?class=
 // query parameter), assigned a service demand in work units (?size= or
-// drawn from the configured distribution), and queued. One worker
-// goroutine per class serves its queue FCFS; a request of size x served
-// while the class holds rate r occupies the worker for x/r × TimeUnit of
-// wall-clock time, emulating a processor share of r on CPU-bound work. A
+// drawn from the configured distribution), optionally vetted by a
+// pluggable admission.Controller, and queued. One worker goroutine per
+// class serves its queue FCFS, emulating a processor share on CPU-bound
+// work. The pacing is rate-change-aware: the worker pins each in-flight
+// job's remaining work and re-paces whenever the control plane installs
+// a new class rate, so a size-x job served at rate r₁ for its first
+// stretch and r₂ afterwards completes after x₁/r₁ + x₂/r₂ time units —
+// exactly the GPS fluid model the allocator assumes — instead of running
+// to a deadline computed from the rate read once at dequeue. A
 // background loop drives the SAME control plane as the simulator — one
 // shared control.Loop tick (estimate → feedback trim → allocate) every
 // Window — so the live server's rate trajectory under a given windowed
 // observation sequence is bit-identical to the simulator's (pinned by
 // TestSimVsLiveRateParity).
+//
+// Only admitted requests feed the load estimator: traffic shed by the
+// admission gate or a full class queue is accounted separately (rejected
+// counts and rejected work in the metrics document), so overload does
+// not inflate λ̂ for the very class being shed.
 //
 // Slowdown is measured per request as queueing delay divided by actual
 // service duration, and exposed — along with rates and load estimates —
@@ -30,15 +41,19 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"psd/internal/admission"
 	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/dist"
 	"psd/internal/rng"
 	"psd/internal/stats"
+	"psd/internal/timeutil"
 )
 
 // Config parametrizes the server.
@@ -73,6 +88,18 @@ type Config struct {
 	Estimator control.EstimatorKind
 	// EWMAAlpha is the EWMA smoothing factor in (0,1] (default 0.3).
 	EWMAAlpha float64
+	// MaxSize bounds the client-declared ?size= in work units (default
+	// 1e6). Without a bound one request could pin a class worker for an
+	// arbitrary wall-clock span — or overflow the pacing-duration
+	// conversion and poison the load estimator with absurd work.
+	MaxSize float64
+	// Admission optionally gates requests before they reach the class
+	// queues (nil admits everything). The controller's clock runs in time
+	// units since server start; rejected requests receive 503 and are
+	// accounted per class without feeding the load estimator. The server
+	// serializes Admit calls, so non-thread-safe controllers
+	// (admission.UtilizationBound, admission.TokenBucket) are fine.
+	Admission admission.Controller
 	// Seed drives the server-side size sampling.
 	Seed uint64
 }
@@ -99,6 +126,9 @@ func (c Config) withDefaults() Config {
 	if c.FeedbackGain == 0 {
 		c.FeedbackGain = 0.3
 	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 1e6
+	}
 	return c
 }
 
@@ -119,13 +149,25 @@ type jobResult struct {
 type classRuntime struct {
 	queue chan *job
 
+	// rateSig wakes the class worker when the control plane installs a
+	// new rate, so an in-flight job re-paces instead of finishing at a
+	// stale deadline. Buffered (capacity 1) and reused: setRate posts a
+	// non-blocking signal, keeping the reallocation tick allocation-free.
+	// A coalesced or stale signal only costs the worker one idempotent
+	// re-pace at the current rate.
+	rateSig chan struct{}
+
 	mu         sync.Mutex
 	rate       float64
-	arrivals   float64 // current-window count
-	work       float64 // current-window work
+	arrivals   float64 // current-window count (admitted requests only)
+	work       float64 // current-window work (admitted requests only)
 	slow       stats.Welford
 	windowSlow stats.Welford // reset each window, feeds the controller
 	lastWindow float64       // last closed window's mean slowdown (NaN if none)
+
+	rejectedAdmission int64   // 503s from the admission gate
+	rejectedQueue     int64   // 503s from a full class queue
+	rejectedWork      float64 // total shed demand, work units (both causes)
 }
 
 // Server is the PSD HTTP front end. Create with New, then use as an
@@ -149,6 +191,16 @@ type Server struct {
 	sizeMu  sync.Mutex
 	sizeRng *rng.Source
 
+	// admMu serializes the (stateful, non-thread-safe) admission
+	// controller; nil adm admits everything.
+	admMu sync.Mutex
+	adm   admission.Controller
+
+	// rateFloorClamps counts worker pacing segments that ran at the
+	// minPaceRate floor because the installed class rate was ≤ 0 — an
+	// allocator starvation signal that used to be an invisible clamp.
+	rateFloorClamps atomic.Int64
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -167,6 +219,11 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("httpsrv: delta[%d] = %v must be positive", i, d)
 		}
 	}
+	if !(cfg.MaxSize > 0) || math.IsInf(cfg.MaxSize, 0) {
+		// +Inf would let ?size=+Inf through the (0, MaxSize] check and
+		// overflow the pacing conversion — the hole MaxSize exists to close.
+		return nil, fmt.Errorf("httpsrv: max size %v must be positive and finite", cfg.MaxSize)
+	}
 	w, err := core.WorkloadFromDist(cfg.Service)
 	if err != nil {
 		return nil, err
@@ -180,6 +237,7 @@ func New(cfg Config) (*Server, error) {
 		tickWork:   make([]float64, n),
 		tickSlows:  make([]float64, n),
 		sizeRng:    rng.New(cfg.Seed),
+		adm:        cfg.Admission,
 		ctx:        ctx,
 		cancel:     cancel,
 		started:    time.Now(),
@@ -203,6 +261,7 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.classes {
 		s.classes[i] = &classRuntime{
 			queue:      make(chan *job, cfg.QueueCapacity),
+			rateSig:    make(chan struct{}, 1),
 			rate:       even,
 			lastWindow: math.NaN(),
 		}
@@ -223,10 +282,19 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// worker is the task server for one class: FCFS, paced to the class rate.
+// minPaceRate floors the pacing rate when the allocator hands a class a
+// non-positive share (a positive allocation, however small, is honored
+// honestly); each floored segment is counted in rateFloorClamps
+// (exposed at /metrics) instead of being clamped invisibly.
+const minPaceRate = 1e-3
+
+// worker is the task server for one class: FCFS, paced to the class
+// rate, re-pacing in flight whenever the rate changes.
 func (s *Server) worker(class int) {
 	defer s.wg.Done()
 	cr := s.classes[class]
+	timer := timeutil.NewStoppedTimer()
+	defer timer.Stop()
 	for {
 		select {
 		case <-s.ctx.Done():
@@ -234,16 +302,11 @@ func (s *Server) worker(class int) {
 		case j := <-cr.queue:
 			start := time.Now()
 			delay := start.Sub(j.enqueued)
-			rate := cr.currentRate()
-			if rate <= 0 {
-				rate = 1e-3
-			}
-			serviceDur := time.Duration(j.size / rate * float64(s.cfg.TimeUnit))
-			if !s.occupy(start.Add(serviceDur)) {
+			service, ok := s.pace(cr, j.size, timer)
+			if !ok {
 				close(j.done)
 				return
 			}
-			service := time.Since(start)
 			slowdown := 0.0
 			if service > 0 {
 				slowdown = float64(delay) / float64(service)
@@ -254,32 +317,87 @@ func (s *Server) worker(class int) {
 	}
 }
 
+// paceOutcome reports how one occupy segment ended.
+type paceOutcome int
+
+const (
+	paceDone     paceOutcome = iota // segment deadline reached
+	paceRepace                      // rate changed mid-segment: recompute
+	paceShutdown                    // server closed mid-service
+)
+
+// pace occupies the worker for size work units against cr's live rate —
+// the GPS fluid model on wall clock. The job's remaining work is pinned
+// here, not a deadline: each segment runs at the rate read at its start,
+// and a rate change ends the segment early, converts its elapsed wall
+// time back into completed work at the segment's rate, and re-paces the
+// remainder at the new rate. A size-x job served at r₁ then r₂ therefore
+// completes after x₁/r₁ + x₂/r₂ time units (pinned within 1% by
+// TestMultiWindowFluidCompletion), where the old read-once pacing would
+// have held the dequeue-time rate for the whole job. Returns the total
+// service duration, or ok=false if the server shut down mid-service.
+func (s *Server) pace(cr *classRuntime, size float64, timer *time.Timer) (service time.Duration, ok bool) {
+	start := time.Now()
+	segStart := start
+	remaining := size
+	for {
+		rate := cr.currentRate()
+		if rate <= 0 {
+			rate = minPaceRate
+			s.rateFloorClamps.Add(1)
+		}
+		deadline := segStart.Add(time.Duration(remaining / rate * float64(s.cfg.TimeUnit)))
+		switch s.occupy(deadline, cr.rateSig, timer) {
+		case paceDone:
+			return time.Since(start), true
+		case paceRepace:
+			now := time.Now()
+			remaining -= float64(now.Sub(segStart)) / float64(s.cfg.TimeUnit) * rate
+			if remaining <= 0 {
+				return now.Sub(start), true
+			}
+			segStart = now
+		case paceShutdown:
+			return 0, false
+		}
+	}
+}
+
 // occupy blocks the worker until the deadline, emulating CPU-bound work.
 // Timers in Go routinely overshoot by hundreds of microseconds, which
 // would silently tax slow classes (whose utilization sits closest to 1)
 // and skew the achieved slowdown ratios; so the bulk of the wait uses a
-// timer and the final stretch spins on the clock. Returns false if the
-// server shut down mid-service.
-func (s *Server) occupy(deadline time.Time) bool {
+// (caller-owned, reused) timer and the final stretch spins on the clock,
+// yielding the processor each probe so sibling workers on the same P
+// still run. A rate-change signal or shutdown ends the wait early.
+func (s *Server) occupy(deadline time.Time, rateSig <-chan struct{}, timer *time.Timer) paceOutcome {
 	const spinWindow = 500 * time.Microsecond
 	for {
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			return true
+			return paceDone
 		}
 		if remain > spinWindow {
+			timer.Reset(remain - spinWindow)
 			select {
-			case <-time.After(remain - spinWindow):
+			case <-timer.C:
+			case <-rateSig:
+				timeutil.StopTimer(timer)
+				return paceRepace
 			case <-s.ctx.Done():
-				return false
+				timeutil.StopTimer(timer)
+				return paceShutdown
 			}
 			continue
 		}
-		// Spin the last stretch; stay shutdown-responsive.
+		// Spin the last stretch; stay rate-change- and shutdown-responsive.
 		select {
+		case <-rateSig:
+			return paceRepace
 		case <-s.ctx.Done():
-			return false
+			return paceShutdown
 		default:
+			runtime.Gosched()
 		}
 	}
 }
@@ -320,10 +438,34 @@ func (cr *classRuntime) closeWindow() (count, work, meanSlow float64) {
 	return count, work, meanSlow
 }
 
+// reject accounts one shed request (admission gate or full queue).
+func (cr *classRuntime) reject(size float64, byAdmission bool) {
+	cr.mu.Lock()
+	if byAdmission {
+		cr.rejectedAdmission++
+	} else {
+		cr.rejectedQueue++
+	}
+	cr.rejectedWork += size
+	cr.mu.Unlock()
+}
+
+// setRate installs a new class rate and, when it actually changed, wakes
+// the worker so any in-flight job re-paces. The signal send is
+// non-blocking into a reused buffered channel: no allocation on the
+// reallocation tick (gated by BenchmarkReallocate) and coalescing is
+// harmless — the worker re-reads the current rate when it wakes.
 func (cr *classRuntime) setRate(r float64) {
 	cr.mu.Lock()
+	changed := r != cr.rate
 	cr.rate = r
 	cr.mu.Unlock()
+	if changed {
+		select {
+		case cr.rateSig <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // reallocLoop closes estimation windows and re-runs the allocator.
@@ -387,11 +529,16 @@ func (s *Server) classify(r *http.Request) int {
 }
 
 // sizeOf extracts the declared work size or samples the configured law.
+// Declared sizes are bounded by Config.MaxSize: an unbounded declaration
+// could pin a class worker for an arbitrary span or overflow the
+// float64→time.Duration pacing conversion (implementation-defined, on
+// amd64 a past deadline — the job would "complete" instantly while its
+// absurd work still poisons the estimator window).
 func (s *Server) sizeOf(r *http.Request) (float64, error) {
 	if v := r.URL.Query().Get("size"); v != "" {
 		size, err := strconv.ParseFloat(v, 64)
-		if err != nil || !(size > 0) || math.IsInf(size, 0) {
-			return 0, fmt.Errorf("httpsrv: invalid size %q", v)
+		if err != nil || !(size > 0) || size > s.cfg.MaxSize {
+			return 0, fmt.Errorf("httpsrv: invalid size %q (must be in (0, %g])", v, s.cfg.MaxSize)
 		}
 		return size, nil
 	}
@@ -409,10 +556,50 @@ type Response struct {
 	Slowdown  float64 `json:"slowdown"`
 }
 
-// ServeHTTP implements http.Handler: every request is classified, queued,
-// served by its class's task server, and answered with its measured
-// slowdown. GET /metrics (or the path the caller mounts Metrics on)
-// should be routed to the Metrics handler instead.
+// nowUnits is the admission controllers' clock: time units since server
+// start.
+func (s *Server) nowUnits() float64 {
+	return float64(time.Since(s.started)) / float64(s.cfg.TimeUnit)
+}
+
+// admit consults the configured admission controller (nil admits all).
+func (s *Server) admit(class int, size float64) bool {
+	if s.adm == nil {
+		return true
+	}
+	now := s.nowUnits()
+	s.admMu.Lock()
+	ok := s.adm.Admit(class, size, now)
+	s.admMu.Unlock()
+	return ok
+}
+
+// refundAdmission returns an admitted request's credit when it was
+// dropped before service (full class queue): without the refund the
+// gate's admitted-load state double-counts shed demand and later
+// admissible traffic is rejected below the contracted rate.
+func (s *Server) refundAdmission(class int, size float64) {
+	ref, ok := s.adm.(admission.Refunder)
+	if !ok {
+		return
+	}
+	now := s.nowUnits()
+	s.admMu.Lock()
+	ref.Refund(class, size, now)
+	s.admMu.Unlock()
+}
+
+// ServeHTTP implements http.Handler: every request is classified, vetted
+// by the admission gate, queued, served by its class's task server, and
+// answered with its measured slowdown. GET /metrics (or the path the
+// caller mounts Metrics on) should be routed to the Metrics handler
+// instead.
+//
+// Only requests that actually enter a class queue feed the load
+// estimator. Observing at arrival time (the old behavior) let
+// 503-rejected traffic inflate λ̂ and the work estimate, over-allocating
+// rate to the very class being shed; shed demand is instead counted per
+// class in the rejected_* metrics.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	class := s.classify(r)
 	size, err := s.sizeOf(r)
@@ -421,11 +608,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cr := s.classes[class]
+	if !s.admit(class, size) {
+		cr.reject(size, true)
+		http.Error(w, "admission denied", http.StatusServiceUnavailable)
+		return
+	}
 	j := &job{size: size, enqueued: time.Now(), done: make(chan jobResult, 1)}
-	cr.observeArrival(size)
 	select {
 	case cr.queue <- j:
+		cr.observeArrival(size)
 	default:
+		if s.adm != nil {
+			s.refundAdmission(class, size)
+		}
+		cr.reject(size, false)
 		http.Error(w, "class queue full", http.StatusServiceUnavailable)
 		return
 	}
@@ -460,6 +656,13 @@ type ClassMetrics struct {
 	MeanSlowdown   float64 `json:"mean_slowdown"`
 	WindowSlowdown float64 `json:"window_slowdown"`
 	QueueDepth     int     `json:"queue_depth"`
+	// RejectedAdmission/RejectedQueueFull count 503s from the admission
+	// gate and from a full class queue; RejectedWork is the total demand
+	// shed either way (work units). None of this traffic reaches the
+	// load estimator.
+	RejectedAdmission int64   `json:"rejected_admission"`
+	RejectedQueueFull int64   `json:"rejected_queue_full"`
+	RejectedWork      float64 `json:"rejected_work"`
 }
 
 // MetricsDocument is the full metrics payload.
@@ -471,10 +674,15 @@ type MetricsDocument struct {
 	// Reallocations counts successful control-loop ticks;
 	// AllocFailures counts ticks whose estimate was infeasible (previous
 	// rates retained).
-	Reallocations  int64          `json:"reallocations"`
-	AllocFailures  int64          `json:"alloc_failures"`
-	Classes        []ClassMetrics `json:"classes"`
-	SlowdownRatios []float64      `json:"slowdown_ratios"`
+	Reallocations int64 `json:"reallocations"`
+	AllocFailures int64 `json:"alloc_failures"`
+	// AdmissionPolicy names the pre-queue gate ("none" when disabled).
+	AdmissionPolicy string `json:"admission_policy"`
+	// RateFloorClamps counts pacing segments that ran at the minPaceRate
+	// floor because the installed class rate was ≤ 0.
+	RateFloorClamps int64          `json:"rate_floor_clamps"`
+	Classes         []ClassMetrics `json:"classes"`
+	SlowdownRatios  []float64      `json:"slowdown_ratios"`
 }
 
 // jsonSafe maps NaN/Inf (which encoding/json rejects) to 0; absent
@@ -495,26 +703,34 @@ func (s *Server) Snapshot() MetricsDocument {
 	s.loop.LambdasInto(lambdas)
 	s.loop.EffectiveDeltasInto(deltas)
 	doc := MetricsDocument{
-		UptimeSeconds:  time.Since(s.started).Seconds(),
-		Estimator:      s.loop.EstimatorName(),
-		Reallocations:  s.reallocations,
-		AllocFailures:  s.allocFailures,
-		Classes:        make([]ClassMetrics, n),
-		SlowdownRatios: make([]float64, n),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Estimator:       s.loop.EstimatorName(),
+		Reallocations:   s.reallocations,
+		AllocFailures:   s.allocFailures,
+		AdmissionPolicy: "none",
+		RateFloorClamps: s.rateFloorClamps.Load(),
+		Classes:         make([]ClassMetrics, n),
+		SlowdownRatios:  make([]float64, n),
 	}
 	s.loopMu.Unlock()
+	if s.adm != nil {
+		doc.AdmissionPolicy = s.adm.Name()
+	}
 	var base float64
 	for i, cr := range s.classes {
 		cr.mu.Lock()
 		cm := ClassMetrics{
-			Delta:          s.cfg.Deltas[i],
-			EffectiveDelta: deltas[i],
-			Rate:           cr.rate,
-			LambdaEstimate: lambdas[i],
-			Served:         cr.slow.N(),
-			MeanSlowdown:   jsonSafe(cr.slow.Mean()),
-			WindowSlowdown: jsonSafe(cr.lastWindow),
-			QueueDepth:     len(cr.queue),
+			Delta:             s.cfg.Deltas[i],
+			EffectiveDelta:    deltas[i],
+			Rate:              cr.rate,
+			LambdaEstimate:    lambdas[i],
+			Served:            cr.slow.N(),
+			MeanSlowdown:      jsonSafe(cr.slow.Mean()),
+			WindowSlowdown:    jsonSafe(cr.lastWindow),
+			QueueDepth:        len(cr.queue),
+			RejectedAdmission: cr.rejectedAdmission,
+			RejectedQueueFull: cr.rejectedQueue,
+			RejectedWork:      cr.rejectedWork,
 		}
 		cr.mu.Unlock()
 		doc.Classes[i] = cm

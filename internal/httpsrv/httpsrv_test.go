@@ -56,6 +56,12 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Deltas: []float64{1, -1}}); err == nil {
 		t.Error("accepted negative delta")
 	}
+	if _, err := New(Config{Deltas: []float64{1}, MaxSize: math.Inf(1)}); err == nil {
+		t.Error("accepted infinite max size (re-opens the ?size=+Inf overflow hole)")
+	}
+	if _, err := New(Config{Deltas: []float64{1}, MaxSize: -1}); err == nil {
+		t.Error("accepted negative max size")
+	}
 }
 
 func TestSingleRequestLifecycle(t *testing.T) {
@@ -112,7 +118,7 @@ func TestUnclassifiedGetsLowestTier(t *testing.T) {
 
 func TestInvalidSizeRejected(t *testing.T) {
 	_, ts := fastServer(t, Config{})
-	for _, q := range []string{"size=abc", "size=-1", "size=0"} {
+	for _, q := range []string{"size=abc", "size=-1", "size=0", "size=1e12", "size=+Inf"} {
 		r := getJSON(t, ts.URL+"/?class=0&"+q, nil)
 		if r.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", q, r.StatusCode)

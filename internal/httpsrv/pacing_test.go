@@ -1,0 +1,121 @@
+package httpsrv
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"psd/internal/timeutil"
+)
+
+// TestMultiWindowFluidCompletion is the golden pin for rate-change-aware
+// pacing: a job spanning several reallocation windows must complete at
+// the GPS fluid-model time Σ xᵢ/rᵢ computed from the actual rate-change
+// instants, not at the deadline implied by the rate read once at
+// dequeue. The schedule is scripted through setRate (the exact call the
+// control plane makes), the change instants are recorded, and the fluid
+// prediction is rebuilt from those measurements so timer jitter in the
+// scripting goroutine cannot skew the expectation. Acceptance: within
+// 1% of the fluid time, and the fluid time itself far from what the old
+// stale-rate path would have produced.
+func TestMultiWindowFluidCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1% wall-clock precision band is not meaningful under -short (race job)")
+	}
+	const (
+		timeUnit = 2 * time.Millisecond
+		size     = 100.0 // at the initial rate 1.0: 200ms if no rate ever changed
+	)
+	s, err := New(Config{
+		Deltas:   []float64{1}, // single class: initial rate is 1.0
+		TimeUnit: timeUnit,
+		Window:   1e9, // background ticker effectively disabled
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cr := s.classes[0]
+
+	// Two scripted rate changes → three pacing segments.
+	schedule := []struct {
+		after time.Duration // since service start
+		rate  float64
+	}{
+		{80 * time.Millisecond, 0.25},
+		{280 * time.Millisecond, 2.0},
+	}
+
+	start := time.Now()
+	changes := make([]time.Time, len(schedule))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, sg := range schedule {
+			time.Sleep(time.Until(start.Add(sg.after)))
+			changes[i] = time.Now()
+			cr.setRate(sg.rate)
+		}
+	}()
+
+	timer := timeutil.NewStoppedTimer()
+	defer timer.Stop()
+	service, ok := s.pace(cr, size, timer)
+	wg.Wait()
+	if !ok {
+		t.Fatal("pace aborted")
+	}
+
+	// Fluid prediction from the measured change instants: work accrues at
+	// 1.0 until changes[0], at 0.25 until changes[1], remainder at 2.0.
+	tu := float64(timeUnit)
+	w1 := float64(changes[0].Sub(start)) / tu * 1.0
+	w2 := float64(changes[1].Sub(changes[0])) / tu * 0.25
+	remaining := size - w1 - w2
+	if remaining <= 0 {
+		t.Fatalf("schedule consumed the whole job before the last segment (w1=%v w2=%v)", w1, w2)
+	}
+	fluid := changes[1].Sub(start) + time.Duration(remaining/2.0*tu)
+
+	relErr := math.Abs(float64(service-fluid)) / float64(fluid)
+	if relErr > 0.01 {
+		t.Fatalf("service %v vs fluid prediction %v: relative error %.4f > 1%%", service, fluid, relErr)
+	}
+
+	// The test must discriminate: the old stale-rate path (deadline from
+	// the dequeue-time rate, here 1.0 → 200ms) must be far outside the
+	// tolerance band around the fluid time.
+	stale := time.Duration(size / 1.0 * tu)
+	if gap := math.Abs(float64(stale-fluid)) / float64(fluid); gap < 0.10 {
+		t.Fatalf("schedule too weak: stale-rate completion %v within %.1f%% of fluid %v", stale, gap*100, fluid)
+	}
+}
+
+// TestPaceRateFloorCounted pins the satellite fix for the silent rate
+// floor: pacing at a non-positive installed rate must run at minPaceRate
+// AND be visible in the metrics document instead of clamping invisibly.
+func TestPaceRateFloorCounted(t *testing.T) {
+	s, err := New(Config{
+		Deltas:   []float64{1},
+		TimeUnit: 50 * time.Microsecond,
+		Window:   1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cr := s.classes[0]
+	cr.setRate(0)
+
+	timer := timeutil.NewStoppedTimer()
+	defer timer.Stop()
+	// 0.02 work units at the 1e-3 floor = 20 time units = 1ms.
+	if _, ok := s.pace(cr, 0.02, timer); !ok {
+		t.Fatal("pace aborted")
+	}
+	if got := s.Snapshot().RateFloorClamps; got < 1 {
+		t.Fatalf("rate_floor_clamps = %d, want >= 1", got)
+	}
+}

@@ -1,7 +1,17 @@
 // Package loadgen drives HTTP load at a PSD server (internal/httpsrv):
 // one open-loop Poisson arrival process per class, sizes drawn from a
 // configurable law, with client-side latency and server-reported slowdown
-// collection. It backs cmd/psdload and the httpserver example.
+// collection. Runs are either a single (Lambdas, Duration) phase or a
+// scripted piecewise-constant schedule (Phases) — the client-side
+// counterpart of the simulator's LoadSchedule — with per-phase reports,
+// so a mid-run load step can be asserted on directly. It backs
+// cmd/psdload and the httpserver example.
+//
+// Arrivals are scheduled against an absolute next-arrival clock with a
+// reused timer: the gap timer never stacks on top of per-iteration work
+// (size sampling, goroutine spawn), so the achieved rate tracks the
+// nominal λ even at thousands of requests per second (pinned by
+// TestOpenLoopRateAccuracy).
 package loadgen
 
 import (
@@ -9,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -18,7 +29,17 @@ import (
 	"psd/internal/dist"
 	"psd/internal/rng"
 	"psd/internal/stats"
+	"psd/internal/timeutil"
 )
+
+// Phase is one piecewise-constant segment of a scripted load schedule.
+type Phase struct {
+	// Lambdas are the per-class arrival rates (requests per time unit)
+	// during this phase; every phase must have the same class count.
+	Lambdas []float64
+	// Duration is the phase's wall-clock length (> 0).
+	Duration time.Duration
+}
 
 // Config parametrizes a load run.
 type Config struct {
@@ -26,6 +47,7 @@ type Config struct {
 	BaseURL string
 	// Lambdas are the per-class arrival rates in requests per *time
 	// unit*; TimeUnit converts to wall-clock (must match the server's).
+	// Ignored when Phases is set.
 	Lambdas []float64
 	// TimeUnit is the wall-clock duration of one time unit (default
 	// 10ms, matching httpsrv's default).
@@ -33,15 +55,34 @@ type Config struct {
 	// Service draws request sizes client-side so the server and client
 	// agree on the demand (default: the paper's Bounded Pareto).
 	Service dist.Distribution
-	// Duration is the wall-clock length of the run.
+	// Duration is the wall-clock length of the run. Ignored when Phases
+	// is set.
 	Duration time.Duration
+	// Phases optionally scripts a piecewise-constant load schedule in
+	// place of Lambdas/Duration: phases run back to back, each class's
+	// Poisson stream redrawing its pending arrival at every boundary
+	// (exact for piecewise-homogeneous Poisson, by memorylessness).
+	Phases []Phase
+	// Drain extends the wait for in-flight requests after arrival
+	// generation stops (default 0: outstanding requests are canceled at
+	// the end of the last phase, biasing the tail of heavy-tailed runs).
+	Drain time.Duration
 	// Seed drives the arrival and size streams.
 	Seed uint64
 	// Client optionally overrides the HTTP client.
 	Client *http.Client
 }
 
-// ClassReport aggregates one class's observations.
+// phases normalizes the configured schedule to a non-empty phase list.
+func (cfg Config) phases() []Phase {
+	if len(cfg.Phases) > 0 {
+		return cfg.Phases
+	}
+	return []Phase{{Lambdas: cfg.Lambdas, Duration: cfg.Duration}}
+}
+
+// ClassReport aggregates one class's observations (for one phase, or the
+// whole run).
 type ClassReport struct {
 	Sent          int64
 	Completed     int64
@@ -50,11 +91,20 @@ type ClassReport struct {
 	P95Slowdown   float64
 	MeanLatencyMs float64 // client-observed end-to-end
 	MeanServiceMs float64 // server-reported
+	// NominalRate and AchievedRate compare the configured λ against
+	// Sent over the covered interval, both in requests per time unit;
+	// open-loop drift shows up as Achieved < Nominal.
+	NominalRate  float64
+	AchievedRate float64
 }
 
 // Report is the run outcome.
 type Report struct {
+	// Classes aggregates the whole run.
 	Classes []ClassReport
+	// Phases holds one report per class per configured phase, attributed
+	// by launch time (length 1 for unphased runs).
+	Phases  [][]ClassReport
 	Elapsed time.Duration
 }
 
@@ -75,17 +125,61 @@ type classCollector struct {
 	service   stats.Welford
 }
 
-// Run drives the configured load until Duration elapses (or ctx is
-// canceled) and returns the aggregated report.
-func Run(ctx context.Context, cfg Config) (*Report, error) {
+func newCollector() *classCollector { return &classCollector{slowP95: stats.NewP2(0.95)} }
+
+// report snapshots the collector; nominal is the configured λ and units
+// the covered interval's length in time units.
+func (c *classCollector) report(nominal, units float64) ClassReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	achieved := math.NaN()
+	if units > 0 {
+		achieved = float64(c.sent) / units
+	}
+	return ClassReport{
+		Sent:          c.sent,
+		Completed:     c.completed,
+		Errors:        c.errors,
+		MeanSlowdown:  c.slow.Mean(),
+		P95Slowdown:   c.slowP95.Value(),
+		MeanLatencyMs: c.latency.Mean(),
+		MeanServiceMs: c.service.Mean(),
+		NominalRate:   nominal,
+		AchievedRate:  achieved,
+	}
+}
+
+func validate(cfg Config) error {
 	if cfg.BaseURL == "" {
-		return nil, errors.New("loadgen: BaseURL required")
+		return errors.New("loadgen: BaseURL required")
 	}
 	if _, err := url.Parse(cfg.BaseURL); err != nil {
-		return nil, fmt.Errorf("loadgen: bad BaseURL: %w", err)
+		return fmt.Errorf("loadgen: bad BaseURL: %w", err)
 	}
-	if len(cfg.Lambdas) == 0 {
-		return nil, errors.New("loadgen: no class lambdas")
+	phases := cfg.phases()
+	n := len(phases[0].Lambdas)
+	if n == 0 {
+		return errors.New("loadgen: no class lambdas")
+	}
+	for pi, ph := range phases {
+		if len(ph.Lambdas) != n {
+			return fmt.Errorf("loadgen: phase %d has %d classes, phase 0 has %d", pi, len(ph.Lambdas), n)
+		}
+		if ph.Duration <= 0 {
+			return fmt.Errorf("loadgen: phase %d duration %v must be positive", pi, ph.Duration)
+		}
+	}
+	if cfg.Drain < 0 {
+		return fmt.Errorf("loadgen: drain %v must not be negative", cfg.Drain)
+	}
+	return nil
+}
+
+// Run drives the configured load until the schedule elapses (or ctx is
+// canceled) and returns the aggregated report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
 	}
 	if cfg.TimeUnit == 0 {
 		cfg.TimeUnit = 10 * time.Millisecond
@@ -93,123 +187,230 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Service == nil {
 		cfg.Service = dist.PaperDefault()
 	}
-	if cfg.Duration <= 0 {
-		return nil, fmt.Errorf("loadgen: duration %v must be positive", cfg.Duration)
-	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 2 * time.Minute}
 	}
+	phases := cfg.phases()
+	nClasses := len(phases[0].Lambdas)
+	var total time.Duration
+	for _, ph := range phases {
+		total += ph.Duration
+	}
 
-	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
-	defer cancel()
+	// start anchors the phase boundaries and MUST be captured before the
+	// context deadlines below: the deadlines then land at or after the
+	// last phaseEnd (start+total), so generation is never cut off inside
+	// the final phase of a normally-completed run.
+	start := time.Now()
 
-	collectors := make([]*classCollector, len(cfg.Lambdas))
-	for i := range collectors {
-		collectors[i] = &classCollector{slowP95: stats.NewP2(0.95)}
+	// genCtx bounds arrival generation; reqCtx lets in-flight requests
+	// drain for cfg.Drain beyond the last phase.
+	genCtx, genCancel := context.WithTimeout(ctx, total)
+	defer genCancel()
+	reqCtx, reqCancel := context.WithTimeout(ctx, total+cfg.Drain)
+	defer reqCancel()
+
+	perPhase := make([][]*classCollector, len(phases))
+	for pi := range perPhase {
+		perPhase[pi] = make([]*classCollector, nClasses)
+		for i := range perPhase[pi] {
+			perPhase[pi][i] = newCollector()
+		}
+	}
+	overall := make([]*classCollector, nClasses)
+	for i := range overall {
+		overall[i] = newCollector()
 	}
 
 	var wg sync.WaitGroup
 	src := rng.New(cfg.Seed)
-	start := time.Now()
-	for class, lambda := range cfg.Lambdas {
-		if lambda <= 0 {
-			continue
-		}
+	for class := 0; class < nClasses; class++ {
 		wg.Add(1)
-		go func(class int, lambda float64, arrivals, sizes *rng.Source) {
+		go func(class int, arrivals, sizes *rng.Source) {
 			defer wg.Done()
-			col := collectors[class]
 			var reqWG sync.WaitGroup
-			for {
-				// Exponential inter-arrival in wall-clock terms.
-				gap := time.Duration(arrivals.ExpFloat64(lambda) * float64(cfg.TimeUnit))
-				select {
-				case <-ctx.Done():
-					reqWG.Wait()
-					return
-				case <-time.After(gap):
+			defer reqWG.Wait()
+			timer := timeutil.NewStoppedTimer()
+			defer timer.Stop()
+
+			phaseEnd := start
+			for pi := range phases {
+				lambda := phases[pi].Lambdas[class]
+				phaseStart := phaseEnd
+				phaseEnd = phaseStart.Add(phases[pi].Duration)
+				pcol, ocol := perPhase[pi][class], overall[class]
+				if lambda > 0 {
+					// Redraw the pending arrival at the boundary: exact
+					// for a piecewise-homogeneous Poisson process.
+					next := phaseStart.Add(expGap(arrivals, lambda, cfg.TimeUnit))
+					for next.Before(phaseEnd) {
+						if !sleepUntil(genCtx, timer, next) {
+							return
+						}
+						size := cfg.Service.Sample(sizes)
+						reqWG.Add(1)
+						go func() {
+							defer reqWG.Done()
+							fire(reqCtx, client, cfg.BaseURL, class, size, pcol, ocol)
+						}()
+						// Absolute clock: the next arrival is scheduled
+						// from the previous arrival's nominal instant, so
+						// sampling and spawn overhead never accumulate
+						// into rate sag.
+						next = next.Add(expGap(arrivals, lambda, cfg.TimeUnit))
+					}
 				}
-				size := cfg.Service.Sample(sizes)
-				reqWG.Add(1)
-				go func() {
-					defer reqWG.Done()
-					fire(ctx, client, cfg.BaseURL, class, size, col)
-				}()
+				if !sleepUntil(genCtx, timer, phaseEnd) {
+					return
+				}
 			}
-		}(class, lambda, src.Split(uint64(2*class+1)), src.Split(uint64(2*class+2)))
+		}(class, src.Split(uint64(2*class+1)), src.Split(uint64(2*class+2)))
 	}
 	wg.Wait()
 
-	rep := &Report{Classes: make([]ClassReport, len(cfg.Lambdas)), Elapsed: time.Since(start)}
-	for i, col := range collectors {
-		col.mu.Lock()
-		rep.Classes[i] = ClassReport{
-			Sent:          col.sent,
-			Completed:     col.completed,
-			Errors:        col.errors,
-			MeanSlowdown:  col.slow.Mean(),
-			P95Slowdown:   col.slowP95.Value(),
-			MeanLatencyMs: col.latency.Mean(),
-			MeanServiceMs: col.service.Mean(),
+	rep := &Report{
+		Classes: make([]ClassReport, nClasses),
+		Phases:  make([][]ClassReport, len(phases)),
+		Elapsed: time.Since(start),
+	}
+	// Rates are computed over the COVERED interval: if the caller's ctx
+	// cut the run short, each phase counts only the portion that actually
+	// ran (a fully skipped phase reports NaN achieved, not a fake 100%
+	// drift against its nominal λ).
+	covered := make([]time.Duration, len(phases))
+	var offset, coveredTotal time.Duration
+	for pi, ph := range phases {
+		c := rep.Elapsed - offset
+		if c < 0 {
+			c = 0
 		}
-		col.mu.Unlock()
+		if c > ph.Duration {
+			c = ph.Duration
+		}
+		covered[pi] = c
+		coveredTotal += c
+		offset += ph.Duration
+	}
+	for pi, ph := range phases {
+		rep.Phases[pi] = make([]ClassReport, nClasses)
+		units := float64(covered[pi]) / float64(cfg.TimeUnit)
+		for i, col := range perPhase[pi] {
+			rep.Phases[pi][i] = col.report(ph.Lambdas[i], units)
+		}
+	}
+	for i, col := range overall {
+		// Whole-run nominal rate: covered-duration-weighted mean of the
+		// phase λs.
+		nominal := math.NaN()
+		if coveredTotal > 0 {
+			nominal = 0
+			for pi, ph := range phases {
+				nominal += ph.Lambdas[i] * float64(covered[pi])
+			}
+			nominal /= float64(coveredTotal)
+		}
+		rep.Classes[i] = col.report(nominal, float64(coveredTotal)/float64(cfg.TimeUnit))
 	}
 	return rep, nil
 }
 
-func fire(ctx context.Context, client *http.Client, base string, class int, size float64, col *classCollector) {
-	col.mu.Lock()
-	col.sent++
-	col.mu.Unlock()
+// expGap draws one exponential inter-arrival gap in wall-clock terms.
+func expGap(src *rng.Source, lambda float64, timeUnit time.Duration) time.Duration {
+	return time.Duration(src.ExpFloat64(lambda) * float64(timeUnit))
+}
+
+// sleepUntil blocks until the absolute instant at (or ctx cancellation,
+// returning false) using the caller's reused timer. An instant already
+// in the past returns immediately: open-loop arrivals fire late rather
+// than thinning out.
+func sleepUntil(ctx context.Context, timer *time.Timer, at time.Time) bool {
+	wait := time.Until(at)
+	if wait <= 0 {
+		return ctx.Err() == nil
+	}
+	timer.Reset(wait)
+	select {
+	case <-ctx.Done():
+		timeutil.StopTimer(timer)
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+func fire(ctx context.Context, client *http.Client, base string, class int, size float64, cols ...*classCollector) {
+	for _, col := range cols {
+		col.mu.Lock()
+		col.sent++
+		col.mu.Unlock()
+	}
 
 	u := fmt.Sprintf("%s?class=%d&size=%s", base, class, strconv.FormatFloat(size, 'g', -1, 64))
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		col.fail()
+		fail(cols)
 		return
 	}
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		col.fail()
+		fail(cols)
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		col.fail()
+		fail(cols)
 		return
 	}
 	var sr serverResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		col.fail()
+		fail(cols)
 		return
 	}
 	lat := time.Since(t0)
-	col.mu.Lock()
-	col.completed++
-	col.slow.Add(sr.Slowdown)
-	col.slowP95.Add(sr.Slowdown)
-	col.latency.Add(float64(lat) / float64(time.Millisecond))
-	col.service.Add(sr.ServiceMs)
-	col.mu.Unlock()
+	for _, col := range cols {
+		col.mu.Lock()
+		col.completed++
+		col.slow.Add(sr.Slowdown)
+		col.slowP95.Add(sr.Slowdown)
+		col.latency.Add(float64(lat) / float64(time.Millisecond))
+		col.service.Add(sr.ServiceMs)
+		col.mu.Unlock()
+	}
 }
 
-func (c *classCollector) fail() {
-	c.mu.Lock()
-	c.errors++
-	c.mu.Unlock()
+func fail(cols []*classCollector) {
+	for _, col := range cols {
+		col.mu.Lock()
+		col.errors++
+		col.mu.Unlock()
+	}
 }
 
-// SlowdownRatio returns the achieved mean slowdown ratio of class i to
-// class 0, or NaN when unavailable.
+// SlowdownRatio returns the achieved whole-run mean slowdown ratio of
+// class i to class 0, or NaN when unavailable (out-of-range i, class 0
+// without a positive mean). NaN — not 0 — so a `ratio < bound` check can
+// never silently pass on missing data.
 func (r *Report) SlowdownRatio(i int) float64 {
-	if i <= 0 || i >= len(r.Classes) {
-		return 0
+	return slowdownRatio(r.Classes, i)
+}
+
+// PhaseSlowdownRatio is SlowdownRatio restricted to one phase.
+func (r *Report) PhaseSlowdownRatio(phase, i int) float64 {
+	if phase < 0 || phase >= len(r.Phases) {
+		return math.NaN()
 	}
-	base := r.Classes[0].MeanSlowdown
+	return slowdownRatio(r.Phases[phase], i)
+}
+
+func slowdownRatio(classes []ClassReport, i int) float64 {
+	if i <= 0 || i >= len(classes) {
+		return math.NaN()
+	}
+	base := classes[0].MeanSlowdown
 	if !(base > 0) {
-		return 0
+		return math.NaN()
 	}
-	return r.Classes[i].MeanSlowdown / base
+	return classes[i].MeanSlowdown / base
 }

@@ -2,6 +2,8 @@ package loadgen
 
 import (
 	"context"
+	"math"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -68,8 +70,123 @@ func TestRunAgainstPSDServer(t *testing.T) {
 	if r := rep.SlowdownRatio(1); r < 0 {
 		t.Fatalf("ratio %v negative", r)
 	}
-	if rep.SlowdownRatio(0) != 0 || rep.SlowdownRatio(5) != 0 {
-		t.Fatal("out-of-range ratio should be 0")
+	if !math.IsNaN(rep.SlowdownRatio(0)) || !math.IsNaN(rep.SlowdownRatio(5)) {
+		t.Fatal("out-of-range ratio should be NaN, not a value a bound check could pass")
+	}
+	if len(rep.Phases) != 1 || rep.Phases[0][0].Sent != rep.Classes[0].Sent {
+		t.Fatalf("unphased run should report exactly its one phase: %+v", rep.Phases)
+	}
+}
+
+// TestSlowdownRatioNaNWhenUnavailable pins the documented contract: no
+// class-0 measurement ⇒ NaN, never 0 (0 silently passes ratio < bound).
+func TestSlowdownRatioNaNWhenUnavailable(t *testing.T) {
+	rep := &Report{Classes: make([]ClassReport, 2)}
+	if r := rep.SlowdownRatio(1); !math.IsNaN(r) {
+		t.Fatalf("ratio with empty base = %v, want NaN", r)
+	}
+	if r := rep.PhaseSlowdownRatio(3, 1); !math.IsNaN(r) {
+		t.Fatalf("out-of-range phase ratio = %v, want NaN", r)
+	}
+}
+
+// TestOpenLoopRateAccuracy pins the absolute-clock arrival scheduler: at
+// 1000 req/s against an instant backend, the achieved rate must track
+// the nominal λ instead of sagging under per-iteration overhead (the old
+// start-timer-after-work loop lost each iteration's sampling and spawn
+// time, compounding at high rates).
+func TestOpenLoopRateAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock drift band is not meaningful under -short (race job)")
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"slowdown":0,"service_ms":1}`))
+	}))
+	defer ts.Close()
+
+	sizes, _ := dist.NewDeterministic(1)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL + "/",
+		Lambdas:  []float64{1}, // 1 per ms = 1000 req/s
+		TimeUnit: time.Millisecond,
+		Service:  sizes,
+		Duration: 1500 * time.Millisecond,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Classes[0]
+	// ~1500 arrivals: Poisson σ ≈ 39 (2.6%); 10% tolerance ≈ 4σ.
+	if rel := math.Abs(c.AchievedRate-c.NominalRate) / c.NominalRate; rel > 0.10 {
+		t.Fatalf("achieved rate %v vs nominal %v: drift %.1f%% (sent %d in %v)",
+			c.AchievedRate, c.NominalRate, rel*100, c.Sent, rep.Elapsed)
+	}
+}
+
+// TestPhasedScheduleSplitsReports drives a two-phase schedule and checks
+// per-phase attribution and per-phase nominal rates.
+func TestPhasedScheduleSplitsReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock load test skipped in -short (race job)")
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"slowdown":0.5,"service_ms":1}`))
+	}))
+	defer ts.Close()
+
+	sizes, _ := dist.NewDeterministic(1)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL + "/",
+		TimeUnit: time.Millisecond,
+		Service:  sizes,
+		Phases: []Phase{
+			{Lambdas: []float64{0.5}, Duration: 400 * time.Millisecond},
+			{Lambdas: []float64{1.5}, Duration: 400 * time.Millisecond},
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 2 {
+		t.Fatalf("phases = %d", len(rep.Phases))
+	}
+	p0, p1 := rep.Phases[0][0], rep.Phases[1][0]
+	if p0.NominalRate != 0.5 || p1.NominalRate != 1.5 {
+		t.Fatalf("nominal rates %v/%v, want 0.5/1.5", p0.NominalRate, p1.NominalRate)
+	}
+	if p0.Sent == 0 || p1.Sent == 0 {
+		t.Fatalf("phase sent counts %d/%d", p0.Sent, p1.Sent)
+	}
+	// 3× the rate for the same duration: phase 1 must clearly out-send
+	// phase 0 (expected 200 vs 600; 1.5× leaves ~8σ of headroom).
+	if float64(p1.Sent) < 1.5*float64(p0.Sent) {
+		t.Fatalf("load step invisible in per-phase reports: %d vs %d", p0.Sent, p1.Sent)
+	}
+	if got := p0.Sent + p1.Sent; got != rep.Classes[0].Sent {
+		t.Fatalf("aggregate sent %d != phase sum %d", rep.Classes[0].Sent, got)
+	}
+	if rep.Classes[0].NominalRate != 1.0 {
+		t.Fatalf("aggregate nominal %v, want duration-weighted 1.0", rep.Classes[0].NominalRate)
+	}
+}
+
+// TestPhaseValidation rejects malformed schedules.
+func TestPhaseValidation(t *testing.T) {
+	ctx := context.Background()
+	bad := []Config{
+		{BaseURL: "http://x", Phases: []Phase{{Lambdas: []float64{1}, Duration: 0}}},
+		{BaseURL: "http://x", Phases: []Phase{
+			{Lambdas: []float64{1}, Duration: time.Second},
+			{Lambdas: []float64{1, 2}, Duration: time.Second},
+		}},
+		{BaseURL: "http://x", Lambdas: []float64{1}, Duration: time.Second, Drain: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(ctx, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
 	}
 }
 

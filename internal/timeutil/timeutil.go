@@ -1,0 +1,28 @@
+// Package timeutil holds small wall-clock helpers shared by the live
+// server and the load generator.
+package timeutil
+
+import "time"
+
+// NewStoppedTimer returns a timer that is stopped and drained, ready
+// for its first Reset — the starting state every reused-timer loop
+// wants, without a dummy duration that could spuriously fire.
+func NewStoppedTimer() *time.Timer {
+	t := time.NewTimer(time.Hour)
+	StopTimer(t)
+	return t
+}
+
+// StopTimer stops and drains a reused timer so the next Reset starts
+// clean. The non-blocking drain is load-bearing: the timer may have
+// fired (channel holding a value) or not (Stop returned false because a
+// concurrent fire is in flight but the value was already consumed), and
+// a blocking receive would deadlock in the latter case.
+func StopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
