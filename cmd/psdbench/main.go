@@ -25,6 +25,9 @@
 // breached: event-driven scenarios must stay under 0.01 allocs/event,
 // the figure sweep under 25 allocs/replication, and the control-tick
 // scenario (the shared control.Loop in isolation) under 0.01
+// allocs/tick. The obs-hotpath scenario gates the observability layer
+// the same way on both of its sections: metric-instrumented events at
+// 0.01 allocs/event AND flight-recorded control ticks at 0.01
 // allocs/tick. The allocation gates are machine-independent; the
 // throughput comparison is only meaningful against a baseline from
 // comparable hardware, so CI pairs a generous tolerance with the exact
@@ -37,11 +40,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/dist"
+	"psd/internal/obs"
 	"psd/internal/simsrv"
 	"psd/internal/sweep"
 )
@@ -77,12 +82,32 @@ type scenarioResult struct {
 }
 
 type report struct {
-	Schema      string           `json:"schema"`
-	GeneratedAt string           `json:"generated_at"`
-	GoVersion   string           `json:"go_version"`
-	GOOS        string           `json:"goos"`
-	GOARCH      string           `json:"goarch"`
-	Scenarios   []scenarioResult `json:"scenarios"`
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// GOMAXPROCS and Commit stamp the run's provenance (schema v3): the
+	// parallelism the figure sweep ran at and the VCS revision the binary
+	// was built from ("unknown" outside a -buildvcs build).
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Commit     string           `json:"commit"`
+	Scenarios  []scenarioResult `json:"scenarios"`
+}
+
+// buildCommit extracts the VCS revision baked into the binary.
+func buildCommit() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				if s.Value != "" {
+					return s.Value
+				}
+				break
+			}
+		}
+	}
+	return "unknown"
 }
 
 type scenario struct {
@@ -93,6 +118,7 @@ type scenario struct {
 	trace       bool
 	figureSweep bool
 	controlTick bool
+	obsHotpath  bool
 }
 
 func scenarios() []scenario {
@@ -104,6 +130,7 @@ func scenarios() []scenario {
 		{name: "2class-load0.6-trace", deltas: []float64{1, 2}, load: 0.6, trace: true},
 		{name: "figure2-sweep", deltas: []float64{1, 2}, figureSweep: true},
 		{name: "control-tick", deltas: []float64{1, 2, 3, 4, 6, 8, 12, 16}, controlTick: true},
+		{name: "obs-hotpath", deltas: []float64{1, 2, 3, 4, 6, 8, 12, 16}, obsHotpath: true},
 	}
 }
 
@@ -126,11 +153,13 @@ func main() {
 	})
 
 	rep := report{
-		Schema:      "psd-bench/v2",
+		Schema:      "psd-bench/v3",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Commit:      buildCommit(),
 	}
 	for _, sc := range scenarios() {
 		res, err := runScenario(sc, *runs, *warmup, *horizon, *seed)
@@ -138,7 +167,10 @@ func main() {
 			fatalf("%s: %v", sc.name, err)
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
-		if sc.controlTick {
+		if sc.obsHotpath {
+			fmt.Fprintf(os.Stderr, "%-28s %10d events  %8.3fs  %12.0f events/s  %.4f allocs/event  %.4f allocs/tick\n",
+				res.Name, res.Events, res.WallSeconds, res.EventsPerSec, res.AllocsPerEvent, res.AllocsPerTick)
+		} else if sc.controlTick {
 			fmt.Fprintf(os.Stderr, "%-28s %10d ticks   %8.3fs  %12.0f ticks/s   %.4f allocs/tick\n",
 				res.Name, res.Ticks, res.WallSeconds, res.TicksPerSec, res.AllocsPerTick)
 		} else if sc.figureSweep {
@@ -224,6 +256,17 @@ func compareAgainst(path string, cur report, tol float64) []string {
 				failures = append(failures, fmt.Sprintf(
 					"%s: %.4f allocs/tick breaches the %.2f gate", s.Name, s.AllocsPerTick, allocsPerTickGate))
 			}
+		case "obs-hotpath":
+			// Both gates at once: the instrumented serve path (events) and
+			// the instrumented, flight-recorded control tick.
+			if s.AllocsPerEvent > allocsPerEventGate {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.4f allocs/event breaches the %.2f gate", s.Name, s.AllocsPerEvent, allocsPerEventGate))
+			}
+			if s.AllocsPerTick > allocsPerTickGate {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.4f allocs/tick breaches the %.2f gate", s.Name, s.AllocsPerTick, allocsPerTickGate))
+			}
 		default:
 			if s.AllocsPerEvent > allocsPerEventGate {
 				failures = append(failures, fmt.Sprintf(
@@ -249,7 +292,7 @@ func compareAgainst(path string, cur report, tol float64) []string {
 		switch s.Model {
 		case "figure-sweep":
 			check("reps/s", b.RepsPerSec, s.RepsPerSec)
-		case "control-tick":
+		case "control-tick", "obs-hotpath":
 			check("ticks/s", b.TicksPerSec, s.TicksPerSec)
 		}
 	}
@@ -276,6 +319,9 @@ func runScenario(sc scenario, runs int, warmup, horizon float64, seed uint64) (s
 	}
 	if sc.controlTick {
 		return runControlTick(sc)
+	}
+	if sc.obsHotpath {
+		return runObsHotpath(sc)
 	}
 	cfg := simsrv.EqualLoadConfig(sc.deltas, sc.load, nil)
 	cfg.Warmup = warmup
@@ -468,6 +514,112 @@ func runControlTick(sc scenario) (scenarioResult, error) {
 		WallSeconds:   wall,
 		TicksPerSec:   float64(ticks) / wall,
 		AllocsPerTick: float64(ms1.Mallocs-ms0.Mallocs) / float64(ticks),
+	}, nil
+}
+
+// runObsHotpath gates the observability layer's zero-allocation promise
+// on both instrumented hot paths:
+//
+//   - events: per served request the live server touches two per-class
+//     histograms (slowdown, latency) and two counters — this section
+//     replays that exact touch pattern against a full httpsrv-shaped
+//     metric catalog and reports allocs/event;
+//   - ticks: the shared control.Loop with a flight recorder attached
+//     (the live server's configuration) and feedback on, reporting
+//     allocs/tick.
+//
+// Both must sit at zero; -compare enforces the same gates as the
+// uninstrumented scenarios, so wiring metrics into a hot path can never
+// silently reintroduce allocation.
+func runObsHotpath(sc scenario) (scenarioResult, error) {
+	const (
+		events = 5_000_000
+		ticks  = 1_000_000
+	)
+	nc := len(sc.deltas)
+
+	// The serve-path section: an httpsrv-shaped registry.
+	reg := obs.NewRegistry()
+	slow := reg.HistogramVec("bench_slowdown", "", "class", nc, -7, 21)
+	lat := reg.HistogramVec("bench_latency_seconds", "", "class", nc, -13, 21)
+	served := reg.CounterVec("bench_served_total", "", "class", nc)
+	workC := reg.FloatCounterVec("bench_work_total", "", "class", nc)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for k := 0; k < events; k++ {
+		class := k % nc
+		v := float64(1+k%97) * 0.125
+		slow.At(class).Observe(v)
+		lat.At(class).Observe(v * 0.01)
+		served.At(class).Inc()
+		workC.At(class).Add(v)
+	}
+	eventWall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+	allocsPerEvent := float64(ms1.Mallocs-ms0.Mallocs) / float64(events)
+
+	// The control-tick section: the shared loop, instrumented with a
+	// flight recorder exactly as the live server runs it.
+	w, err := core.WorkloadFromDist(dist.PaperDefault())
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	rec, err := obs.NewFlightRecorder(nc, 256)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	lp, err := control.NewLoop(control.LoopConfig{
+		Deltas:    sc.deltas,
+		Window:    1000,
+		Allocator: core.PSD{},
+		Workload:  w,
+		Feedback:  true,
+		Recorder:  rec,
+	})
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	counts := make([]float64, nc)
+	work := make([]float64, nc)
+	slows := make([]float64, nc)
+	tick := func(k int) error {
+		for i := 0; i < nc; i++ {
+			counts[i] = float64(200 + (k*7+i*13)%120)
+			work[i] = counts[i] * w.MeanSize
+			slows[i] = sc.deltas[i] * float64(1+(k+i)%3)
+		}
+		_, err := lp.Tick(control.TickInput{Counts: counts, Work: work, MeasuredSlowdowns: slows})
+		return err
+	}
+	if err := tick(0); err != nil { // warm the loop's buffers
+		return scenarioResult{}, err
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start = time.Now()
+	for k := 1; k <= ticks; k++ {
+		if err := tick(k); err != nil {
+			return scenarioResult{}, err
+		}
+	}
+	tickWall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+
+	return scenarioResult{
+		Name:           sc.name,
+		Classes:        nc,
+		Model:          "obs-hotpath",
+		Events:         events,
+		WallSeconds:    eventWall + tickWall,
+		EventsPerSec:   float64(events) / eventWall,
+		NsPerEvent:     eventWall * 1e9 / float64(events),
+		AllocsPerEvent: allocsPerEvent,
+		Ticks:          ticks,
+		TicksPerSec:    float64(ticks) / tickWall,
+		AllocsPerTick:  float64(ms1.Mallocs-ms0.Mallocs) / float64(ticks),
 	}, nil
 }
 

@@ -10,13 +10,17 @@
 // gets an independent Poisson stream with Bounded Pareto sizes. With
 // -step-after/-step-lambdas the run becomes a two-phase load step and
 // the report breaks out each phase — the client-side twin of the
-// simulator's LoadStep schedule.
+// simulator's LoadStep schedule. -report-json writes the full machine-
+// readable report — including per-class client-side latency histograms
+// (log₂ ms buckets) — to a file ("-" for stdout).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -24,6 +28,7 @@ import (
 
 	"psd/internal/dist"
 	"psd/internal/loadgen"
+	"psd/internal/obs"
 )
 
 func main() {
@@ -35,6 +40,7 @@ func main() {
 		stepAfter   = flag.Duration("step-after", 0, "step the load at this point of the run (0: no step)")
 		stepLambdas = flag.String("step-lambdas", "", "per-class arrival rates after -step-after")
 		drain       = flag.Duration("drain", 0, "extra wait for in-flight requests after arrivals stop")
+		reportJSON  = flag.String("report-json", "", `write the full report as JSON to this file ("-": stdout)`)
 		alpha       = flag.Float64("alpha", 1.5, "Bounded Pareto shape for request sizes")
 		lower       = flag.Float64("lower", 0.1, "Bounded Pareto lower bound")
 		upper       = flag.Float64("upper", 100, "Bounded Pareto upper bound")
@@ -90,14 +96,119 @@ func main() {
 		}
 	}
 	for i := 1; i < len(rep.Classes); i++ {
-		fmt.Printf("achieved slowdown ratio class %d/1: %.4f\n", i+1, rep.SlowdownRatio(i))
+		fmt.Printf("achieved slowdown ratio class %d/1: %s\n", i+1, fmtRatio(rep.SlowdownRatio(i)))
 		if len(rep.Phases) > 1 {
 			for pi := range rep.Phases {
-				fmt.Printf("  phase %d: %.4f\n", pi+1, rep.PhaseSlowdownRatio(pi, i))
+				fmt.Printf("  phase %d: %s\n", pi+1, fmtRatio(rep.PhaseSlowdownRatio(pi, i)))
 			}
 		}
 	}
 	fmt.Printf("elapsed: %v\n", rep.Elapsed.Round(time.Millisecond))
+
+	if *reportJSON != "" {
+		if err := writeReportJSON(*reportJSON, rep); err != nil {
+			fatalf("writing -report-json: %v", err)
+		}
+	}
+}
+
+// fmtRatio renders a slowdown ratio, or "n/a" when the measurement is
+// unavailable (no class-0 baseline yet) instead of a raw NaN.
+func fmtRatio(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// jfloat serializes NaN/±Inf (absent measurements) as null, which
+// encoding/json otherwise rejects outright.
+type jfloat float64
+
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// jsonClass is the machine-readable per-class report.
+type jsonClass struct {
+	Sent          int64                 `json:"sent"`
+	Completed     int64                 `json:"completed"`
+	Errors        int64                 `json:"errors"`
+	MeanSlowdown  jfloat                `json:"mean_slowdown"`
+	P95Slowdown   jfloat                `json:"p95_slowdown"`
+	MeanLatencyMs jfloat                `json:"mean_latency_ms"`
+	MeanServiceMs jfloat                `json:"mean_service_ms"`
+	NominalRate   jfloat                `json:"nominal_rate"`
+	AchievedRate  jfloat                `json:"achieved_rate"`
+	LatencyHistMs obs.HistogramSnapshot `json:"latency_hist_ms"`
+}
+
+type jsonReport struct {
+	ElapsedSeconds jfloat        `json:"elapsed_seconds"`
+	Classes        []jsonClass   `json:"classes"`
+	SlowdownRatios []jfloat      `json:"slowdown_ratios"`
+	Phases         [][]jsonClass `json:"phases,omitempty"`
+}
+
+func toJSONClasses(classes []loadgen.ClassReport) []jsonClass {
+	out := make([]jsonClass, len(classes))
+	for i, c := range classes {
+		out[i] = jsonClass{
+			Sent:          c.Sent,
+			Completed:     c.Completed,
+			Errors:        c.Errors,
+			MeanSlowdown:  jfloat(c.MeanSlowdown),
+			P95Slowdown:   jfloat(c.P95Slowdown),
+			MeanLatencyMs: jfloat(c.MeanLatencyMs),
+			MeanServiceMs: jfloat(c.MeanServiceMs),
+			NominalRate:   jfloat(c.NominalRate),
+			AchievedRate:  jfloat(c.AchievedRate),
+			LatencyHistMs: c.LatencyHist,
+		}
+	}
+	return out
+}
+
+func writeReportJSON(path string, rep *loadgen.Report) error {
+	doc := jsonReport{
+		ElapsedSeconds: jfloat(rep.Elapsed.Seconds()),
+		Classes:        toJSONClasses(rep.Classes),
+		SlowdownRatios: make([]jfloat, len(rep.Classes)),
+	}
+	for i := range rep.Classes {
+		if i == 0 {
+			// The baseline's ratio to itself, or null with no baseline yet.
+			if rep.Classes[0].MeanSlowdown > 0 {
+				doc.SlowdownRatios[0] = 1
+			} else {
+				doc.SlowdownRatios[0] = jfloat(math.NaN())
+			}
+			continue
+		}
+		doc.SlowdownRatios[i] = jfloat(rep.SlowdownRatio(i))
+	}
+	if len(rep.Phases) > 1 {
+		doc.Phases = make([][]jsonClass, len(rep.Phases))
+		for pi, classes := range rep.Phases {
+			doc.Phases[pi] = toJSONClasses(classes)
+		}
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func printClasses(title string, classes []loadgen.ClassReport) {

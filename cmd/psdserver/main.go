@@ -14,6 +14,11 @@
 // An optional pre-queue admission gate (-admission utilization |
 // tokenbucket) sheds overload with 503s before it can bias the load
 // estimator; shed demand is accounted at /metrics.
+//
+// Observability: /metrics serves the JSON document, /metrics/prom (or
+// /metrics?format=prom) the Prometheus text exposition, /debug/control
+// the control-plane flight recorder (last -flightrec ticks). -pprof
+// additionally mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -49,6 +55,8 @@ func main() {
 		admTau    = flag.Float64("admission-tau", 0, "utilization gate: smoothing time constant in time units (0: the reallocation window)")
 		admRates  = flag.String("admission-rates", "", "token bucket: per-class work rates in work units per time unit (default: -admission-bound split evenly)")
 		admBurst  = flag.Float64("admission-burst", 10, "token bucket: per-class credit cap in work units")
+		flightrec = flag.Int("flightrec", 256, "control-plane flight recorder capacity in ticks (dump: GET /debug/control)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		seed      = flag.Uint64("seed", 1, "server-side sampling seed")
 	)
 	flag.Parse()
@@ -70,25 +78,38 @@ func main() {
 		fatalf("bad admission flags: %v", err)
 	}
 	srv, err := httpsrv.New(httpsrv.Config{
-		Deltas:    ds,
-		Service:   svc,
-		TimeUnit:  *timeUnit,
-		Window:    *window,
-		Feedback:  *feedback,
-		Estimator: kind,
-		EWMAAlpha: *ewmaAlpha,
-		Admission: gate,
-		Seed:      *seed,
+		Deltas:             ds,
+		Service:            svc,
+		TimeUnit:           *timeUnit,
+		Window:             *window,
+		Feedback:           *feedback,
+		Estimator:          kind,
+		EWMAAlpha:          *ewmaAlpha,
+		Admission:          gate,
+		FlightRecorderSize: *flightrec,
+		Seed:               *seed,
 	})
 	if err != nil {
 		fatalf("starting server: %v", err)
 	}
 	defer srv.Close()
 
-	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), estimator=%s, feedback=%v, admission=%s",
-		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), kind, *feedback, *admPolicy)
-	log.Printf("work endpoint: GET /?class=N&size=X   metrics: GET /metrics")
-	if err := http.ListenAndServe(*addr, srv.Mux()); err != nil {
+	mux := srv.Mux()
+	if *pprofOn {
+		// Mount explicitly instead of importing for side effects: the
+		// handlers go on this mux, not http.DefaultServeMux, and only
+		// when asked for.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), estimator=%s, feedback=%v, admission=%s, pprof=%v",
+		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), kind, *feedback, *admPolicy, *pprofOn)
+	log.Printf("work endpoint: GET /?class=N&size=X   metrics: GET /metrics (JSON), /metrics/prom (Prometheus), /debug/control (flight recorder)")
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatalf("%v", err)
 	}
 }

@@ -8,6 +8,12 @@
 //	psdsim -deltas 1,2,3 -load 0.8 -alpha 1.5 -upper 100 -runs 100
 //	psdsim -deltas 1,4 -load 0.6 -allocator pdd        # baseline ablation
 //	psdsim -deltas 1,2 -load 0.5 -work-conserving      # GPS-mode ablation
+//	psdsim -deltas 1,2 -load 0.5 -flightrec 64         # dump control ticks
+//
+// -flightrec N runs one extra dedicated replication (base seed) with a
+// control-plane flight recorder attached and dumps its last N ticks as
+// JSON — the same record format the live server serves at /debug/control
+// — to -flightrec-out ("-": stdout).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/dist"
+	"psd/internal/obs"
 	"psd/internal/simsrv"
 	"psd/internal/sweep"
 )
@@ -45,6 +52,8 @@ func main() {
 		workConserv = flag.Bool("work-conserving", false, "redistribute idle class capacity (GPS ablation)")
 		oracle      = flag.Bool("oracle", false, "feed the allocator true arrival rates (no estimation error)")
 		loadStep    = flag.Float64("load-step", 0, "transient ablation: scale all arrival rates by this factor at mid-horizon (0 = stationary)")
+		flightrec   = flag.Int("flightrec", 0, "flight-record the last N control ticks of one dedicated replication (0: off)")
+		flightOut   = flag.String("flightrec-out", "-", `flight recorder dump destination ("-": stdout)`)
 	)
 	flag.Parse()
 
@@ -122,6 +131,43 @@ func main() {
 		fmt.Printf("class %d/1 per-window ratio: p05=%.3f p50=%.3f p95=%.3f (n=%d)\n",
 			i+1, rs.P05, rs.P50, rs.P95, rs.N)
 	}
+
+	if *flightrec > 0 {
+		if err := dumpFlightRecord(cfg, *flightrec, *flightOut); err != nil {
+			fatalf("flight record: %v", err)
+		}
+	}
+}
+
+// dumpFlightRecord replays one dedicated replication (the base seed) with
+// a flight recorder attached and writes the recorded tick JSON. The sweep
+// engine's replications run in parallel and cannot share one recorder, so
+// the recorded run is a separate, deterministic rerun.
+func dumpFlightRecord(cfg simsrv.Config, capacity int, out string) error {
+	rec, err := obs.NewFlightRecorder(len(cfg.Classes), capacity)
+	if err != nil {
+		return err
+	}
+	cfg.Recorder = rec
+	if _, err := simsrv.Run(cfg); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.WriteJSON(w); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Printf("flight record: %d ticks (of %d recorded) written to %s\n", rec.Len(), rec.Seq(), out)
+	}
+	return nil
 }
 
 func parseFloats(s string) ([]float64, error) {

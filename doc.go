@@ -59,6 +59,9 @@
 //	                   streaming replication aggregation
 //	internal/sweep     scenario-grid engine: (point, replication) task
 //	                   queue over a pool of per-worker arenas
+//	internal/obs       allocation-free observability: atomic metrics
+//	                   registry with log₂ histograms, Prometheus text
+//	                   exposition, control-plane flight recorder
 //	internal/workload  session-based e-commerce request streams
 //	internal/loadgen   open-loop Poisson HTTP load driver with phased
 //	                   (load-step) schedules and per-phase reports
@@ -82,9 +85,10 @@
 // paper-fidelity replications through one arena and gates allocs/event
 // (< 0.01, both server models) and allocs/replication (< 10);
 // BenchmarkFigureSweep tracks full-figure throughput; cmd/psdbench runs
-// the same scenarios — plus a control-tick scenario gating the shared
-// control plane at zero allocations per tick — writes the committed
-// BENCH_psd.json baseline, and in -compare mode turns regressions into
+// the same scenarios — plus control-tick and obs-hotpath scenarios
+// gating the shared control plane and the fully instrumented request
+// path (metrics + flight recorder) at zero allocations — writes the
+// committed BENCH_psd.json baseline, and in -compare mode turns regressions into
 // non-zero exits (CI runs it).
 // Seeded replications are reproducible bit-for-bit across engine
 // versions and across arena reuse — the golden tests in internal/simsrv

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"psd/internal/core"
+	"psd/internal/obs"
 )
 
 // EstimatorKind selects the Loop's load-smoothing strategy.
@@ -75,6 +76,14 @@ type LoopConfig struct {
 	// FeedbackMaxTrim bounds δeff within [target/MaxTrim, target·MaxTrim]
 	// (default 8).
 	FeedbackMaxTrim float64
+	// Recorder, when non-nil, receives one flight record per Tick — the
+	// λ̂ the allocator saw, the rates in force afterwards, the measured
+	// slowdowns fed to the controller, the effective δ vector, and
+	// failure/clamp flags. Reset re-dimensions the recorder to the class
+	// count (retaining its capacity) and clears its history, so one
+	// recorder tracks one Loop lifetime. Recording is allocation-free;
+	// every Loop consumer (simulator and live server) shares this hook.
+	Recorder *obs.FlightRecorder
 }
 
 func (c LoopConfig) withDefaults() LoopConfig {
@@ -151,6 +160,10 @@ type Loop struct {
 	curWork  []float64
 
 	ctrl RatioController // active iff feedback
+
+	// Flight recording (nil when not configured).
+	rec   *obs.FlightRecorder
+	ticks uint64 // completed Tick calls since Reset
 
 	// Per-tick scratch.
 	effDeltas    []float64
@@ -236,6 +249,15 @@ func (lp *Loop) Reset(cfg LoopConfig) error {
 		if err := lp.ctrl.ResetTargets(lp.deltas, cfg.FeedbackGain, cfg.FeedbackMaxTrim); err != nil {
 			return err
 		}
+	}
+	lp.rec = cfg.Recorder
+	lp.ticks = 0
+	if lp.rec != nil {
+		capacity := lp.rec.Capacity()
+		if capacity < 1 {
+			capacity = 256
+		}
+		lp.rec.Reset(nc, capacity)
 	}
 	return nil
 }
@@ -348,12 +370,43 @@ func (lp *Loop) Tick(in TickInput) ([]float64, error) {
 		if in.OracleLambdas != nil {
 			l = in.OracleLambdas[i]
 		}
+		lp.lambdas[i] = l // scratch now holds what the allocator sees
 		lp.allocClasses[i] = core.Class{Delta: lp.effDeltas[i], Lambda: l}
 	}
-	if err := core.AllocateInto(lp.allocator, &lp.alloc, lp.allocClasses, lp.workload); err != nil {
+	err := core.AllocateInto(lp.allocator, &lp.alloc, lp.allocClasses, lp.workload)
+	if lp.rec != nil {
+		lp.recordTick(in.MeasuredSlowdowns, err)
+	}
+	lp.ticks++
+	if err != nil {
 		return nil, err
 	}
 	return lp.alloc.Rates, nil
+}
+
+// recordTick appends one flight record. Timestamps are ticks·Window — the
+// control clock, identical for every Loop consumer, which is what lets
+// the flight-recorder parity test demand bit-identical records between a
+// bare Loop and the live server. On a failed tick the recorded rates are
+// the retained previous allocation (the allocator leaves them untouched
+// on error), or NaN before any allocation succeeded.
+func (lp *Loop) recordTick(slowdowns []float64, allocErr error) {
+	var flags uint8
+	rates := lp.alloc.Rates
+	if len(rates) != lp.classes {
+		rates = nil
+	}
+	if allocErr != nil {
+		flags |= obs.FlagAllocFailure
+	} else {
+		for _, r := range rates {
+			if r <= 0 {
+				flags |= obs.FlagNonPositiveRate
+				break
+			}
+		}
+	}
+	lp.rec.Record(float64(lp.ticks+1)*lp.window, flags, lp.lambdas, rates, slowdowns, lp.effDeltas)
 }
 
 // AllocateDeclared runs the allocator against the target δ vector and the

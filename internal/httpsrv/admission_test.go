@@ -203,8 +203,8 @@ func TestRejectedTrafficDoesNotFeedEstimator(t *testing.T) {
 	// one job, the queue one more, so at least n-2 rejections must land.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
+		rejected := s.met.rejQueueFull.At(0).Load()
 		s.classes[0].mu.Lock()
-		rejected := s.classes[0].rejectedQueue
 		arrivals := s.classes[0].arrivals
 		work := s.classes[0].work
 		s.classes[0].mu.Unlock()

@@ -30,8 +30,14 @@
 // not inflate λ̂ for the very class being shed.
 //
 // Slowdown is measured per request as queueing delay divided by actual
-// service duration, and exposed — along with rates and load estimates —
-// at the metrics endpoint as JSON.
+// service duration. Telemetry is first-class (internal/obs): per-class
+// slowdown and latency histograms, rejection and clamp counters, and the
+// control-plane gauges live in a zero-allocation metric registry exposed
+// both as the JSON document (/metrics) and in Prometheus text format
+// (/metrics/prom or /metrics?format=prom); every control tick is
+// additionally flight-recorded and dumpable at /debug/control. Metric
+// reads never take the control-plane mutex, so a slow scrape cannot
+// delay a reallocation tick.
 package httpsrv
 
 import (
@@ -44,13 +50,13 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"psd/internal/admission"
 	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/dist"
+	"psd/internal/obs"
 	"psd/internal/rng"
 	"psd/internal/stats"
 	"psd/internal/timeutil"
@@ -100,6 +106,10 @@ type Config struct {
 	// serializes Admit calls, so non-thread-safe controllers
 	// (admission.UtilizationBound, admission.TokenBucket) are fine.
 	Admission admission.Controller
+	// FlightRecorderSize is the control-plane flight recorder's ring
+	// capacity in ticks (default 256): the last N control decisions are
+	// always dumpable at /debug/control.
+	FlightRecorderSize int
 	// Seed drives the server-side size sampling.
 	Seed uint64
 }
@@ -128,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSize == 0 {
 		c.MaxSize = 1e6
+	}
+	if c.FlightRecorderSize == 0 {
+		c.FlightRecorderSize = 256
 	}
 	return c
 }
@@ -159,15 +172,12 @@ type classRuntime struct {
 
 	mu         sync.Mutex
 	rate       float64
-	arrivals   float64 // current-window count (admitted requests only)
-	work       float64 // current-window work (admitted requests only)
-	slow       stats.Welford
+	arrivals   float64       // current-window count (admitted requests only)
+	work       float64       // current-window work (admitted requests only)
 	windowSlow stats.Welford // reset each window, feeds the controller
-	lastWindow float64       // last closed window's mean slowdown (NaN if none)
 
-	rejectedAdmission int64   // 503s from the admission gate
-	rejectedQueue     int64   // 503s from a full class queue
-	rejectedWork      float64 // total shed demand, work units (both causes)
+	// All completion/rejection accounting lives in the server's metric
+	// registry (Server.met): lock-free atomics, not fields under mu.
 }
 
 // Server is the PSD HTTP front end. Create with New, then use as an
@@ -177,16 +187,26 @@ type Server struct {
 	workload core.Workload
 	classes  []*classRuntime
 
-	// loopMu serializes the shared control plane between the reallocation
-	// ticker and metrics snapshots. The tick itself is allocation-free
-	// (control.Loop owns every buffer; the scratch below feeds it).
-	loopMu        sync.Mutex
-	loop          control.Loop
-	tickCounts    []float64
-	tickWork      []float64
-	tickSlows     []float64
-	reallocations int64
-	allocFailures int64
+	// loopMu serializes the shared control plane: only the reallocation
+	// tick takes it (metrics snapshots read registry atomics instead, so
+	// a slow scrape never delays a tick). The tick itself is
+	// allocation-free (control.Loop owns every buffer; the scratch below
+	// feeds it and carries its outputs to the published gauges).
+	loopMu      sync.Mutex
+	loop        control.Loop
+	tickCounts  []float64
+	tickWork    []float64
+	tickSlows   []float64
+	tickLambdas []float64
+	tickDeltas  []float64
+
+	// Observability: the metric registry (served as JSON and Prometheus
+	// text) and the control-plane flight recorder (hooked into the loop,
+	// dumped at /debug/control).
+	reg     *obs.Registry
+	met     serverMetrics
+	rec     *obs.FlightRecorder
+	estName string
 
 	sizeMu  sync.Mutex
 	sizeRng *rng.Source
@@ -195,11 +215,6 @@ type Server struct {
 	// controller; nil adm admits everything.
 	admMu sync.Mutex
 	adm   admission.Controller
-
-	// rateFloorClamps counts worker pacing segments that ran at the
-	// minPaceRate floor because the installed class rate was ≤ 0 — an
-	// allocator starvation signal that used to be an invisible clamp.
-	rateFloorClamps atomic.Int64
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -228,19 +243,29 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec, err := obs.NewFlightRecorder(len(cfg.Deltas), cfg.FlightRecorderSize)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	n := len(cfg.Deltas)
+	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:        cfg,
-		workload:   w,
-		tickCounts: make([]float64, n),
-		tickWork:   make([]float64, n),
-		tickSlows:  make([]float64, n),
-		sizeRng:    rng.New(cfg.Seed),
-		adm:        cfg.Admission,
-		ctx:        ctx,
-		cancel:     cancel,
-		started:    time.Now(),
+		cfg:         cfg,
+		workload:    w,
+		tickCounts:  make([]float64, n),
+		tickWork:    make([]float64, n),
+		tickSlows:   make([]float64, n),
+		tickLambdas: make([]float64, n),
+		tickDeltas:  make([]float64, n),
+		reg:         reg,
+		met:         newServerMetrics(reg, n),
+		rec:         rec,
+		sizeRng:     rng.New(cfg.Seed),
+		adm:         cfg.Admission,
+		ctx:         ctx,
+		cancel:      cancel,
+		started:     time.Now(),
 	}
 	if err := s.loop.Reset(control.LoopConfig{
 		Deltas:         cfg.Deltas,
@@ -252,19 +277,24 @@ func New(cfg Config) (*Server, error) {
 		Workload:       w,
 		Feedback:       cfg.Feedback,
 		FeedbackGain:   cfg.FeedbackGain,
+		Recorder:       rec,
 	}); err != nil {
 		cancel()
 		return nil, err
 	}
+	s.estName = s.loop.EstimatorName()
 	s.classes = make([]*classRuntime, len(cfg.Deltas))
 	even := 1 / float64(len(cfg.Deltas))
 	for i := range s.classes {
 		s.classes[i] = &classRuntime{
-			queue:      make(chan *job, cfg.QueueCapacity),
-			rateSig:    make(chan struct{}, 1),
-			rate:       even,
-			lastWindow: math.NaN(),
+			queue:   make(chan *job, cfg.QueueCapacity),
+			rateSig: make(chan struct{}, 1),
+			rate:    even,
 		}
+		s.met.delta.At(i).Set(cfg.Deltas[i])
+		s.met.effDelta.At(i).Set(cfg.Deltas[i])
+		s.met.rate.At(i).Set(even)
+		s.met.windowSlow.At(i).Set(math.NaN())
 	}
 	for i := range s.classes {
 		s.wg.Add(1)
@@ -311,7 +341,7 @@ func (s *Server) worker(class int) {
 			if service > 0 {
 				slowdown = float64(delay) / float64(service)
 			}
-			cr.recordSlowdown(slowdown)
+			s.recordCompletion(class, cr, delay, service, slowdown)
 			j.done <- jobResult{delay: delay, service: service, slowdown: slowdown}
 		}
 	}
@@ -344,7 +374,7 @@ func (s *Server) pace(cr *classRuntime, size float64, timer *time.Timer) (servic
 		rate := cr.currentRate()
 		if rate <= 0 {
 			rate = minPaceRate
-			s.rateFloorClamps.Add(1)
+			s.met.rateFloorClamps.Inc()
 		}
 		deadline := segStart.Add(time.Duration(remaining / rate * float64(s.cfg.TimeUnit)))
 		switch s.occupy(deadline, cr.rateSig, timer) {
@@ -408,11 +438,15 @@ func (cr *classRuntime) currentRate() float64 {
 	return cr.rate
 }
 
-func (cr *classRuntime) recordSlowdown(sl float64) {
+// recordCompletion accounts one served request: the lifetime slowdown and
+// latency histograms (lock-free registry atomics) plus the current-window
+// slowdown accumulator that feeds the controller (under cr.mu).
+func (s *Server) recordCompletion(class int, cr *classRuntime, delay, service time.Duration, sl float64) {
+	s.met.slowdown.At(class).Observe(sl)
+	s.met.latency.At(class).Observe((delay + service).Seconds())
 	cr.mu.Lock()
-	defer cr.mu.Unlock()
-	cr.slow.Add(sl)
 	cr.windowSlow.Add(sl)
+	cr.mu.Unlock()
 }
 
 func (cr *classRuntime) observeArrival(size float64) {
@@ -433,21 +467,19 @@ func (cr *classRuntime) closeWindow() (count, work, meanSlow float64) {
 	} else {
 		meanSlow = math.NaN()
 	}
-	cr.lastWindow = meanSlow
 	cr.windowSlow = stats.Welford{}
 	return count, work, meanSlow
 }
 
-// reject accounts one shed request (admission gate or full queue).
-func (cr *classRuntime) reject(size float64, byAdmission bool) {
-	cr.mu.Lock()
+// reject accounts one shed request (admission gate or full queue) in the
+// metric registry; shed traffic never reaches the load estimator.
+func (s *Server) reject(class int, size float64, byAdmission bool) {
 	if byAdmission {
-		cr.rejectedAdmission++
+		s.met.rejAdmission.At(class).Inc()
 	} else {
-		cr.rejectedQueue++
+		s.met.rejQueueFull.At(class).Inc()
 	}
-	cr.rejectedWork += size
-	cr.mu.Unlock()
+	s.met.rejWork.At(class).Add(size)
 }
 
 // setRate installs a new class rate and, when it actually changed, wakes
@@ -501,13 +533,25 @@ func (s *Server) reallocate() {
 		Work:              s.tickWork,
 		MeasuredSlowdowns: s.tickSlows,
 	})
+	// Publish the tick's control state into the scrape gauges while still
+	// holding loopMu (the loop's buffers are only stable under it); the
+	// gauge writes themselves are lock-free atomics, so concurrent
+	// snapshots read them without ever taking loopMu.
+	s.loop.LambdasInto(s.tickLambdas)
+	s.loop.EffectiveDeltasInto(s.tickDeltas)
+	for i := range s.classes {
+		s.met.lambda.At(i).Set(s.tickLambdas[i])
+		s.met.effDelta.At(i).Set(s.tickDeltas[i])
+		s.met.windowSlow.At(i).Set(s.tickSlows[i])
+	}
 	if err != nil {
-		s.allocFailures++ // transient infeasibility: keep previous rates
+		s.met.allocFailures.Inc() // transient infeasibility: keep previous rates
 		return
 	}
-	s.reallocations++
+	s.met.reallocations.Inc()
 	for i, cr := range s.classes {
 		cr.setRate(rates[i])
+		s.met.rate.At(i).Set(rates[i])
 	}
 }
 
@@ -609,7 +653,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	cr := s.classes[class]
 	if !s.admit(class, size) {
-		cr.reject(size, true)
+		s.reject(class, size, true)
 		http.Error(w, "admission denied", http.StatusServiceUnavailable)
 		return
 	}
@@ -621,7 +665,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if s.adm != nil {
 			s.refundAdmission(class, size)
 		}
-		cr.reject(size, false)
+		s.reject(class, size, false)
 		http.Error(w, "class queue full", http.StatusServiceUnavailable)
 		return
 	}
@@ -646,116 +690,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// ClassMetrics is the per-class section of the metrics document.
-type ClassMetrics struct {
-	Delta          float64 `json:"delta"`
-	EffectiveDelta float64 `json:"effective_delta"`
-	Rate           float64 `json:"rate"`
-	LambdaEstimate float64 `json:"lambda_estimate"`
-	Served         int64   `json:"served"`
-	MeanSlowdown   float64 `json:"mean_slowdown"`
-	WindowSlowdown float64 `json:"window_slowdown"`
-	QueueDepth     int     `json:"queue_depth"`
-	// RejectedAdmission/RejectedQueueFull count 503s from the admission
-	// gate and from a full class queue; RejectedWork is the total demand
-	// shed either way (work units). None of this traffic reaches the
-	// load estimator.
-	RejectedAdmission int64   `json:"rejected_admission"`
-	RejectedQueueFull int64   `json:"rejected_queue_full"`
-	RejectedWork      float64 `json:"rejected_work"`
-}
-
-// MetricsDocument is the full metrics payload.
-type MetricsDocument struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	// Estimator names the control plane's smoothing strategy
-	// ("window" | "ewma").
-	Estimator string `json:"estimator"`
-	// Reallocations counts successful control-loop ticks;
-	// AllocFailures counts ticks whose estimate was infeasible (previous
-	// rates retained).
-	Reallocations int64 `json:"reallocations"`
-	AllocFailures int64 `json:"alloc_failures"`
-	// AdmissionPolicy names the pre-queue gate ("none" when disabled).
-	AdmissionPolicy string `json:"admission_policy"`
-	// RateFloorClamps counts pacing segments that ran at the minPaceRate
-	// floor because the installed class rate was ≤ 0.
-	RateFloorClamps int64          `json:"rate_floor_clamps"`
-	Classes         []ClassMetrics `json:"classes"`
-	SlowdownRatios  []float64      `json:"slowdown_ratios"`
-}
-
-// jsonSafe maps NaN/Inf (which encoding/json rejects) to 0; absent
-// measurements read as zero in the document.
-func jsonSafe(v float64) float64 {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return 0
-	}
-	return v
-}
-
-// Snapshot assembles the current metrics.
-func (s *Server) Snapshot() MetricsDocument {
-	n := len(s.classes)
-	lambdas := make([]float64, n)
-	deltas := make([]float64, n)
-	s.loopMu.Lock()
-	s.loop.LambdasInto(lambdas)
-	s.loop.EffectiveDeltasInto(deltas)
-	doc := MetricsDocument{
-		UptimeSeconds:   time.Since(s.started).Seconds(),
-		Estimator:       s.loop.EstimatorName(),
-		Reallocations:   s.reallocations,
-		AllocFailures:   s.allocFailures,
-		AdmissionPolicy: "none",
-		RateFloorClamps: s.rateFloorClamps.Load(),
-		Classes:         make([]ClassMetrics, n),
-		SlowdownRatios:  make([]float64, n),
-	}
-	s.loopMu.Unlock()
-	if s.adm != nil {
-		doc.AdmissionPolicy = s.adm.Name()
-	}
-	var base float64
-	for i, cr := range s.classes {
-		cr.mu.Lock()
-		cm := ClassMetrics{
-			Delta:             s.cfg.Deltas[i],
-			EffectiveDelta:    deltas[i],
-			Rate:              cr.rate,
-			LambdaEstimate:    lambdas[i],
-			Served:            cr.slow.N(),
-			MeanSlowdown:      jsonSafe(cr.slow.Mean()),
-			WindowSlowdown:    jsonSafe(cr.lastWindow),
-			QueueDepth:        len(cr.queue),
-			RejectedAdmission: cr.rejectedAdmission,
-			RejectedQueueFull: cr.rejectedQueue,
-			RejectedWork:      cr.rejectedWork,
-		}
-		cr.mu.Unlock()
-		doc.Classes[i] = cm
-		if i == 0 {
-			base = cm.MeanSlowdown
-		}
-		if base > 0 {
-			doc.SlowdownRatios[i] = cm.MeanSlowdown / base
-		}
-	}
-	return doc
-}
-
-// Metrics returns an http.Handler serving the JSON metrics document.
-func (s *Server) Metrics() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(s.Snapshot())
-	})
-}
-
-// Mux returns a ready-to-serve mux: work at "/", metrics at "/metrics".
+// Mux returns a ready-to-serve mux: work at "/", the JSON metrics
+// document at "/metrics" (Prometheus text with ?format=prom), the
+// Prometheus exposition at "/metrics/prom", and the control-plane flight
+// recorder dump at "/debug/control".
 func (s *Server) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.Metrics())
+	mux.Handle("/metrics/prom", s.PromMetrics())
+	mux.Handle("/debug/control", s.ControlDump())
 	mux.Handle("/", s)
 	return mux
 }

@@ -287,8 +287,8 @@ func TestFeedbackControllerWiring(t *testing.T) {
 	defer s.Close()
 	// Simulate a window where class 1's measured ratio overshoots: the
 	// controller should trim its effective delta below target.
-	s.classes[0].recordSlowdown(1)
-	s.classes[1].recordSlowdown(10) // ratio 10 vs target 2
+	s.recordCompletion(0, s.classes[0], 0, 0, 1)
+	s.recordCompletion(1, s.classes[1], 0, 0, 10) // ratio 10 vs target 2
 	s.classes[0].observeArrival(1)
 	s.classes[1].observeArrival(1)
 	s.reallocate()

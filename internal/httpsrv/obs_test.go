@@ -1,0 +1,181 @@
+package httpsrv
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"psd/internal/obs"
+)
+
+func newObsTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{
+		Deltas:   []float64{1, 2},
+		TimeUnit: time.Millisecond,
+		Window:   1e9, // background ticker effectively disabled
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestSnapshotDoesNotTakeControlMutex is the lock-freedom pin: a metrics
+// snapshot (and a Prometheus scrape) must complete while the control-plane
+// mutex is held mid-tick, because Snapshot reads only registry atomics.
+// Before this layer, Snapshot serialized under loopMu and a stalled tick
+// would stall every scrape with it.
+func TestSnapshotDoesNotTakeControlMutex(t *testing.T) {
+	s := newObsTestServer(t)
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	done := make(chan MetricsDocument, 1)
+	go func() {
+		s.Snapshot()
+		var sb strings.Builder
+		_ = s.reg.WriteProm(&sb)
+		done <- s.Snapshot()
+	}()
+	select {
+	case doc := <-done:
+		if len(doc.Classes) != 2 {
+			t.Fatalf("snapshot under held loopMu malformed: %+v", doc)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Snapshot blocked on the control-plane mutex")
+	}
+}
+
+// TestTickProceedsDuringSnapshots stresses the converse direction:
+// continuous scraping must not delay control ticks. Runs with -race in CI.
+func TestTickProceedsDuringSnapshots(t *testing.T) {
+	s := newObsTestServer(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Snapshot()
+					sb.Reset()
+					_ = s.reg.WriteProm(&sb)
+				}
+			}
+		}()
+	}
+	const ticks = 50
+	for k := 0; k < ticks; k++ {
+		s.classes[0].observeArrival(0.5)
+		s.classes[1].observeArrival(0.5)
+		s.reallocate()
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Snapshot().Reallocations; got != ticks {
+		t.Fatalf("reallocations = %d, want %d", got, ticks)
+	}
+}
+
+// TestMuxRoutes exercises the observability endpoints end to end: JSON
+// document, Prometheus text (both spellings), and the flight-recorder dump.
+func TestMuxRoutes(t *testing.T) {
+	s := newObsTestServer(t)
+	s.classes[0].observeArrival(1)
+	s.classes[1].observeArrival(1)
+	s.reallocate()
+	mux := s.Mux()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: %d", path, rec.Code)
+		}
+		return rec
+	}
+
+	var doc MetricsDocument
+	if err := json.Unmarshal(get("/metrics").Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if doc.Reallocations != 1 {
+		t.Fatalf("/metrics reallocations = %d", doc.Reallocations)
+	}
+
+	for _, path := range []string{"/metrics/prom", "/metrics?format=prom"} {
+		rec := get(path)
+		if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+			t.Fatalf("%s content type %q", path, ct)
+		}
+		body := rec.Body.String()
+		for _, name := range s.reg.MetricNames() {
+			if !strings.Contains(body, "\n"+name) && !strings.HasPrefix(body, "# HELP "+name) {
+				t.Fatalf("%s missing metric %s:\n%s", path, name, body)
+			}
+		}
+		if !strings.Contains(body, `psd_class_rate{class="0"}`) {
+			t.Fatalf("%s missing labeled rate gauge", path)
+		}
+	}
+
+	var dump struct {
+		Classes  int `json:"classes"`
+		Recorded int `json:"recorded"`
+		Ticks    []struct {
+			Seq   int       `json:"seq"`
+			Rates []float64 `json:"rates"`
+		} `json:"ticks"`
+	}
+	if err := json.Unmarshal(get("/debug/control").Body.Bytes(), &dump); err != nil {
+		t.Fatalf("/debug/control not JSON: %v", err)
+	}
+	if dump.Classes != 2 || dump.Recorded != 1 || len(dump.Ticks) != 1 {
+		t.Fatalf("/debug/control dump = %+v", dump)
+	}
+	if len(dump.Ticks[0].Rates) != 2 {
+		t.Fatalf("dump rates = %v", dump.Ticks[0].Rates)
+	}
+}
+
+// TestRejectionMetrics pins the registry-backed rejection accounting that
+// replaced the old per-class counter fields.
+func TestRejectionMetrics(t *testing.T) {
+	s := newObsTestServer(t)
+	s.reject(1, 2.5, true)
+	s.reject(1, 1.5, false)
+	doc := s.Snapshot()
+	c := doc.Classes[1]
+	if c.RejectedAdmission != 1 || c.RejectedQueueFull != 1 || c.RejectedWork != 4 {
+		t.Fatalf("rejection accounting = %+v", c)
+	}
+	if z := doc.Classes[0]; z.RejectedAdmission != 0 || z.RejectedQueueFull != 0 || z.RejectedWork != 0 {
+		t.Fatalf("class 0 cross-talk: %+v", z)
+	}
+}
+
+// TestCompletionMetrics: a served request must land in both histograms
+// and surface in the JSON document's served/mean fields.
+func TestCompletionMetrics(t *testing.T) {
+	s := newObsTestServer(t)
+	s.recordCompletion(0, s.classes[0], 30*time.Millisecond, 10*time.Millisecond, 3)
+	doc := s.Snapshot()
+	if doc.Classes[0].Served != 1 || doc.Classes[0].MeanSlowdown != 3 {
+		t.Fatalf("slowdown accounting = %+v", doc.Classes[0])
+	}
+	lat := s.met.latency.At(0).Snapshot()
+	if lat.Count != 1 || lat.Sum != 0.04 {
+		t.Fatalf("latency histogram count/sum = %d/%v, want 1/0.04", lat.Count, lat.Sum)
+	}
+}

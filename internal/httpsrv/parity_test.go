@@ -1,12 +1,14 @@
 package httpsrv
 
 import (
+	"math"
 	"runtime"
 	"testing"
 	"time"
 
 	"psd/internal/control"
 	"psd/internal/core"
+	"psd/internal/obs"
 	"psd/internal/simsrv"
 )
 
@@ -81,8 +83,12 @@ func TestSimVsLiveRateParity(t *testing.T) {
 		}
 		ticks := res.Reallocations
 
-		// (a) Bare loop fed the same windowed sequence.
+		// (a) Bare loop fed the same windowed sequence, flight-recorded.
 		w, err := core.WorkloadFromDist(cfg.ApplyDefaults().Service)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loopRec, err := obs.NewFlightRecorder(len(deltas), 64)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,6 +99,7 @@ func TestSimVsLiveRateParity(t *testing.T) {
 			HistoryWindows: 3,
 			Allocator:      core.PSD{},
 			Workload:       w,
+			Recorder:       loopRec,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -146,6 +153,38 @@ func TestSimVsLiveRateParity(t *testing.T) {
 		doc := srv.Snapshot()
 		if doc.Reallocations != int64(ticks) || doc.AllocFailures != 0 {
 			t.Fatalf("%v: live counters %d/%d, want %d/0", kind, doc.Reallocations, doc.AllocFailures, ticks)
+		}
+
+		// Flight-recorder parity: the bare loop's and the live server's
+		// recorders must hold bit-identical tick records — same control-clock
+		// stamps, flags, λ̂, rates, slowdowns (NaN here: no completions) and
+		// effective δ. The recorder hook lives inside the shared loop, so any
+		// divergence means the consumers no longer run the same control plane.
+		loopTicks := loopRec.Snapshot()
+		liveTicks := srv.FlightRecorder().Snapshot()
+		if len(loopTicks) != ticks || len(liveTicks) != ticks {
+			t.Fatalf("%v: recorded %d/%d ticks, want %d", kind, len(loopTicks), len(liveTicks), ticks)
+		}
+		for k := range loopTicks {
+			a, b := loopTicks[k], liveTicks[k]
+			if a.Seq != b.Seq || a.Time != b.Time || a.Flags != b.Flags {
+				t.Fatalf("%v: tick %d headers differ: %+v vs %+v", kind, k, a, b)
+			}
+			if a.Time != float64(k+1)*window {
+				t.Fatalf("%v: tick %d stamped %v, want control clock %v", kind, k, a.Time, float64(k+1)*window)
+			}
+			sameVec := func(name string, x, y []float64) {
+				t.Helper()
+				for i := range x {
+					if x[i] != y[i] && !(math.IsNaN(x[i]) && math.IsNaN(y[i])) {
+						t.Fatalf("%v: tick %d %s: loop %.17g != live %.17g", kind, k, name, x[i], y[i])
+					}
+				}
+			}
+			sameVec("lambda", a.Lambdas, b.Lambdas)
+			sameVec("rates", a.Rates, b.Rates)
+			sameVec("slowdowns", a.Slowdowns, b.Slowdowns)
+			sameVec("effdeltas", a.EffDeltas, b.EffDeltas)
 		}
 	}
 }

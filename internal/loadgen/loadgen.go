@@ -27,9 +27,18 @@ import (
 	"time"
 
 	"psd/internal/dist"
+	"psd/internal/obs"
 	"psd/internal/rng"
 	"psd/internal/stats"
 	"psd/internal/timeutil"
+)
+
+// Client-side latency histogram layout: log₂ buckets over
+// [2⁻¹, 2²⁰) ms ≈ [0.5 ms, 17.5 min); faster responses underflow,
+// slower ones overflow.
+const (
+	latencyHistFirstExp = -1
+	latencyHistBuckets  = 21
 )
 
 // Phase is one piecewise-constant segment of a scripted load schedule.
@@ -96,6 +105,10 @@ type ClassReport struct {
 	// open-loop drift shows up as Achieved < Nominal.
 	NominalRate  float64
 	AchievedRate float64
+	// LatencyHist is the client-observed end-to-end latency distribution
+	// in milliseconds (log₂ buckets; see obs.HistogramSnapshot), exported
+	// as JSON by psdload -report-json.
+	LatencyHist obs.HistogramSnapshot
 }
 
 // Report is the run outcome.
@@ -123,9 +136,18 @@ type classCollector struct {
 	slowP95   *stats.P2
 	latency   stats.Welford
 	service   stats.Welford
+	// latHist bins the same client-observed latencies (ms) the Welford
+	// mean summarizes; Observe is atomic, so it lives outside mu.
+	latHist *obs.Histogram
 }
 
-func newCollector() *classCollector { return &classCollector{slowP95: stats.NewP2(0.95)} }
+func newCollector() *classCollector {
+	h, err := obs.NewHistogram(latencyHistFirstExp, latencyHistBuckets)
+	if err != nil {
+		panic(err) // layout constants are compile-time; cannot fail
+	}
+	return &classCollector{slowP95: stats.NewP2(0.95), latHist: h}
+}
 
 // report snapshots the collector; nominal is the configured λ and units
 // the covered interval's length in time units.
@@ -146,6 +168,7 @@ func (c *classCollector) report(nominal, units float64) ClassReport {
 		MeanServiceMs: c.service.Mean(),
 		NominalRate:   nominal,
 		AchievedRate:  achieved,
+		LatencyHist:   c.latHist.Snapshot(),
 	}
 }
 
@@ -369,12 +392,14 @@ func fire(ctx context.Context, client *http.Client, base string, class int, size
 		return
 	}
 	lat := time.Since(t0)
+	latMs := float64(lat) / float64(time.Millisecond)
 	for _, col := range cols {
+		col.latHist.Observe(latMs)
 		col.mu.Lock()
 		col.completed++
 		col.slow.Add(sr.Slowdown)
 		col.slowP95.Add(sr.Slowdown)
-		col.latency.Add(float64(lat) / float64(time.Millisecond))
+		col.latency.Add(latMs)
 		col.service.Add(sr.ServiceMs)
 		col.mu.Unlock()
 	}

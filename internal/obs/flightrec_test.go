@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func rec2(t *testing.T, classes, capacity int) *FlightRecorder {
+	t.Helper()
+	fr, err := NewFlightRecorder(classes, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func TestFlightRecorderRejectsBadDims(t *testing.T) {
+	if _, err := NewFlightRecorder(0, 8); err == nil {
+		t.Fatal("0 classes accepted")
+	}
+	if _, err := NewFlightRecorder(2, 0); err == nil {
+		t.Fatal("0 capacity accepted")
+	}
+}
+
+func TestFlightRecorderRecordAndSnapshot(t *testing.T) {
+	fr := rec2(t, 2, 8)
+	fr.Record(50, 0, []float64{1, 2}, []float64{0.6, 0.4}, nil, []float64{1, 2})
+	fr.Record(100, FlagAllocFailure, []float64{3, 4}, nil, []float64{1.5, 3}, []float64{1, 1.9})
+	ticks := fr.Snapshot()
+	if len(ticks) != 2 {
+		t.Fatalf("held %d ticks, want 2", len(ticks))
+	}
+	t0, t1 := ticks[0], ticks[1]
+	if t0.Seq != 0 || t0.Time != 50 || t0.Flags != 0 {
+		t.Fatalf("tick 0 header = %+v", t0)
+	}
+	if t0.Lambdas[1] != 2 || t0.Rates[0] != 0.6 || t0.EffDeltas[1] != 2 {
+		t.Fatalf("tick 0 vectors = %+v", t0)
+	}
+	if !math.IsNaN(t0.Slowdowns[0]) || !math.IsNaN(t0.Slowdowns[1]) {
+		t.Fatalf("nil slowdowns not NaN-filled: %v", t0.Slowdowns)
+	}
+	if t1.Seq != 1 || t1.Flags != FlagAllocFailure || !math.IsNaN(t1.Rates[0]) {
+		t.Fatalf("tick 1 = %+v", t1)
+	}
+	if t1.Slowdowns[1] != 3 {
+		t.Fatalf("tick 1 slowdowns = %v", t1.Slowdowns)
+	}
+}
+
+func TestFlightRecorderRingWraparound(t *testing.T) {
+	fr := rec2(t, 1, 3)
+	for i := 0; i < 7; i++ {
+		fr.Record(float64(i), 0, []float64{float64(i) * 10}, nil, nil, nil)
+	}
+	if fr.Len() != 3 || fr.Seq() != 7 {
+		t.Fatalf("len/seq = %d/%d, want 3/7", fr.Len(), fr.Seq())
+	}
+	ticks := fr.Snapshot()
+	for k, want := range []uint64{4, 5, 6} {
+		if ticks[k].Seq != want || ticks[k].Time != float64(want) || ticks[k].Lambdas[0] != float64(want)*10 {
+			t.Fatalf("tick %d = %+v, want seq %d", k, ticks[k], want)
+		}
+	}
+}
+
+func TestFlightRecorderReset(t *testing.T) {
+	fr := rec2(t, 2, 4)
+	fr.Record(1, 0, nil, nil, nil, nil)
+	fr.Reset(3, 4)
+	if fr.Classes() != 3 || fr.Len() != 0 || fr.Seq() != 0 {
+		t.Fatalf("after reset: classes %d len %d seq %d", fr.Classes(), fr.Len(), fr.Seq())
+	}
+	fr.Record(1, 0, []float64{1, 2, 3}, nil, nil, nil)
+	if got := fr.Snapshot()[0].Lambdas; len(got) != 3 || got[2] != 3 {
+		t.Fatalf("post-reset record = %v", got)
+	}
+}
+
+func TestFlightRecorderDimensionPanic(t *testing.T) {
+	fr := rec2(t, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on 3-entry vector into a 2-class recorder")
+		}
+	}()
+	fr.Record(1, 0, []float64{1, 2, 3}, nil, nil, nil)
+}
+
+func TestFlightRecorderRecordAllocationFree(t *testing.T) {
+	fr := rec2(t, 4, 16)
+	lam := []float64{1, 2, 3, 4}
+	rates := []float64{0.4, 0.3, 0.2, 0.1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		fr.Record(1, 0, lam, rates, nil, lam)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per call", allocs)
+	}
+}
+
+// TestFlightRecorderWriteJSONGolden pins the dump format, including the
+// dropped count after wraparound and NaN → null.
+func TestFlightRecorderWriteJSONGolden(t *testing.T) {
+	fr := rec2(t, 2, 2)
+	fr.Record(50, 0, []float64{1, 2}, []float64{0.75, 0.25}, nil, []float64{1, 2})
+	fr.Record(100, FlagAllocFailure, []float64{3, 4}, []float64{0.75, 0.25}, []float64{1.5, 3}, []float64{1, 2})
+	fr.Record(150, FlagNonPositiveRate, []float64{5, 6}, []float64{1, 0}, []float64{2, 4}, []float64{1, 2})
+	var sb strings.Builder
+	if err := fr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"classes":2,"capacity":2,"recorded":3,"dropped":1,"ticks":[` +
+		`{"seq":1,"time":100,"alloc_failure":true,"rate_clamped":false,` +
+		`"lambda_hat":[3,4],"rates":[0.75,0.25],"slowdowns":[1.5,3],"effective_deltas":[1,2]},` +
+		`{"seq":2,"time":150,"alloc_failure":false,"rate_clamped":true,` +
+		`"lambda_hat":[5,6],"rates":[1,0],"slowdowns":[2,4],"effective_deltas":[1,2]}]}` + "\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("dump mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestFlightRecorderWriteJSONNullsNaN(t *testing.T) {
+	fr := rec2(t, 1, 2)
+	fr.Record(math.NaN(), 0, nil, []float64{math.Inf(1)}, nil, nil)
+	var sb strings.Builder
+	if err := fr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if strings.Contains(got, "NaN") || strings.Contains(got, "Inf") {
+		t.Fatalf("non-JSON floats leaked: %s", got)
+	}
+	if !strings.Contains(got, `"time":null`) || !strings.Contains(got, `"rates":[null]`) {
+		t.Fatalf("NaN/Inf not nulled: %s", got)
+	}
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestFloatCounterConcurrentAdds(t *testing.T) {
+	var c FloatCounter
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	// 0.5 is exactly representable, so the CAS-loop sum is exact.
+	if got, want := c.Load(), float64(workers*per)*0.5; got != want {
+		t.Fatalf("float counter = %v, want %v", got, want)
+	}
+}
+
+func TestGaugePublishesNaN(t *testing.T) {
+	var g Gauge
+	if g.Load() != 0 {
+		t.Fatalf("zero gauge reads %v", g.Load())
+	}
+	g.Set(math.NaN())
+	if !math.IsNaN(g.Load()) {
+		t.Fatalf("gauge lost NaN: %v", g.Load())
+	}
+	g.Set(-2.5)
+	if g.Load() != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", g.Load())
+	}
+}
+
+func TestHistogramBinningEdges(t *testing.T) {
+	h, err := NewHistogram(0, 3) // buckets [1,2) [2,4) [4,8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v      float64
+		bucket int // -1 underflow, NumBuckets overflow
+	}{
+		{1, 0}, {1.999, 0},
+		{2, 1}, {3.999, 1},
+		{4, 2}, {7.999, 2},
+		{8, 3}, {1e30, 3},
+		{0.999, -1}, {0.5, -1}, {0, -1}, {-3, -1},
+		{math.NaN(), -1},
+		{math.Inf(1), 3}, {math.Inf(-1), -1},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(cases))
+	}
+	var wantCounts [3]int64
+	var wantUnder, wantOver int64
+	for _, c := range cases {
+		switch {
+		case c.bucket < 0:
+			wantUnder++
+		case c.bucket >= 3:
+			wantOver++
+		default:
+			wantCounts[c.bucket]++
+		}
+	}
+	for i, w := range wantCounts {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], w)
+		}
+	}
+	if snap.Underflow != wantUnder || snap.Overflow != wantOver {
+		t.Errorf("under/over = %d/%d, want %d/%d", snap.Underflow, snap.Overflow, wantUnder, wantOver)
+	}
+	// NaN and ±Inf must not have reached the sum.
+	wantSum := 0.0
+	for _, c := range cases {
+		if !math.IsNaN(c.v) && !math.IsInf(c.v, 0) {
+			wantSum += c.v
+		}
+	}
+	if snap.Sum != wantSum {
+		t.Errorf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramUpperBounds(t *testing.T) {
+	h, _ := NewHistogram(-2, 4) // [0.25,0.5) [0.5,1) [1,2) [2,4)
+	snap := h.Snapshot()
+	want := []float64{0.5, 1, 2, 4}
+	for i, w := range want {
+		if got := snap.UpperBound(i); got != w {
+			t.Errorf("UpperBound(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h, _ := NewHistogram(0, 4)
+	if !math.IsNaN(h.Mean()) {
+		t.Fatalf("empty mean = %v, want NaN", h.Mean())
+	}
+	h.Observe(2)
+	h.Observe(4)
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %v, want 3", h.Mean())
+	}
+}
+
+// TestHistogramMergeEqualsSingleStream is the property test behind
+// lock-free aggregation: splitting one observation stream across two
+// histograms and merging their snapshots equals observing the whole
+// stream in one histogram. Counts must match exactly; the merged sum may
+// differ from the sequential sum only by FP addition order, so the values
+// here are dyadic rationals where both orders are exact.
+func TestHistogramMergeEqualsSingleStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole, _ := NewHistogram(-4, 12)
+	a, _ := NewHistogram(-4, 12)
+	b, _ := NewHistogram(-4, 12)
+	for i := 0; i < 10000; i++ {
+		// Dyadic values spanning underflow, every bucket, and overflow.
+		v := math.Ldexp(float64(rng.Intn(1<<20)+1), -10) // k/1024, k in [1, 2^20]
+		if rng.Intn(50) == 0 {
+			v = 0 // underflow
+		}
+		whole.Observe(v)
+		if rng.Intn(2) == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	merged := a.Snapshot()
+	bs := b.Snapshot()
+	if err := merged.Merge(&bs); err != nil {
+		t.Fatal(err)
+	}
+	want := whole.Snapshot()
+	if merged.Count != want.Count || merged.Underflow != want.Underflow || merged.Overflow != want.Overflow {
+		t.Fatalf("merged count/under/over = %d/%d/%d, want %d/%d/%d",
+			merged.Count, merged.Underflow, merged.Overflow, want.Count, want.Underflow, want.Overflow)
+	}
+	for i := range want.Counts {
+		if merged.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: merged %d, single-stream %d", i, merged.Counts[i], want.Counts[i])
+		}
+	}
+	if math.Abs(merged.Sum-want.Sum) > 1e-9*math.Abs(want.Sum) {
+		t.Fatalf("merged sum %v, single-stream %v", merged.Sum, want.Sum)
+	}
+}
+
+func TestHistogramMergeLayoutMismatch(t *testing.T) {
+	a, _ := NewHistogram(0, 4)
+	b, _ := NewHistogram(1, 4)
+	c, _ := NewHistogram(0, 5)
+	as, bs, cs := a.Snapshot(), b.Snapshot(), c.Snapshot()
+	if err := as.Merge(&bs); err == nil {
+		t.Fatal("merge across first-exponent mismatch succeeded")
+	}
+	if err := as.Merge(&cs); err == nil {
+		t.Fatal("merge across bucket-count mismatch succeeded")
+	}
+}
+
+func TestSnapshotIntoReusesCapacity(t *testing.T) {
+	h, _ := NewHistogram(0, 8)
+	var s HistogramSnapshot
+	h.SnapshotInto(&s)
+	first := &s.Counts[0]
+	h.Observe(1)
+	h.SnapshotInto(&s)
+	if &s.Counts[0] != first {
+		t.Fatal("SnapshotInto reallocated a large-enough bucket slice")
+	}
+	if s.Counts[0] != 1 {
+		t.Fatalf("bucket 0 = %d, want 1", s.Counts[0])
+	}
+}
+
+func TestHotPathAllocationFree(t *testing.T) {
+	var c Counter
+	var fc FloatCounter
+	var g Gauge
+	h, _ := NewHistogram(-7, 21)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		fc.Add(1.5)
+		g.Set(3)
+		h.Observe(0.25)
+		h.Observe(1e9) // overflow path
+		h.Observe(0)   // underflow path
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates %v per run", allocs)
+	}
+}
+
+func TestRegistryPanicsOnBadNames(t *testing.T) {
+	mustPanic := func(name string, f func(r *Registry)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f(NewRegistry())
+	}
+	mustPanic("invalid name", func(r *Registry) { r.Counter("9bad", "") })
+	mustPanic("empty name", func(r *Registry) { r.Gauge("", "") })
+	mustPanic("invalid label", func(r *Registry) { r.GaugeVec("ok_name", "", "0bad", 2) })
+	mustPanic("duplicate", func(r *Registry) {
+		r.Counter("twice", "")
+		r.Gauge("twice", "")
+	})
+}
+
+func TestRegistryMetricNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "")
+	r.GaugeVec("b_gauge", "", "class", 3)
+	r.HistogramVec("c_hist", "", "class", 2, 0, 4)
+	got := r.MetricNames()
+	want := []string{"a_total", "b_gauge", "c_hist"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}

@@ -306,6 +306,7 @@ func (p *pkRunner) reset(pc PacketizedConfig) error {
 		Allocator:        cfg.Allocator,
 		Workload:         w,
 		EstimateFromWork: cfg.EstimateFromWork,
+		Recorder:         cfg.Recorder,
 	}); err != nil {
 		return err
 	}

@@ -32,6 +32,7 @@ import (
 	"psd/internal/core"
 	"psd/internal/des"
 	"psd/internal/dist"
+	"psd/internal/obs"
 	"psd/internal/rng"
 	"psd/internal/stats"
 )
@@ -123,6 +124,15 @@ type Config struct {
 	// short-timescale Figures 7–8.
 	RecordRequests       bool
 	RecordFrom, RecordTo float64
+	// Recorder, when non-nil, flight-records every control tick (λ̂,
+	// rates, effective δ, failure flags) through the shared control.Loop
+	// hook — the same recorder type the live server dumps at
+	// /debug/control, dumpable here via psdsim -flightrec. The run resets
+	// it, so one recorder holds exactly the configured replication's tail
+	// of ticks. Do not share one recorder across concurrent simulators
+	// (internal/sweep replications run in parallel; attach a recorder to
+	// a dedicated single run instead).
+	Recorder *obs.FlightRecorder
 }
 
 // ApplyDefaults fills unset fields with the paper's §4.1 values and
@@ -521,6 +531,7 @@ func (r *runner) reset(cfg Config, w core.Workload) error {
 		EstimateFromWork: cfg.EstimateFromWork,
 		Feedback:         cfg.Feedback,
 		FeedbackGain:     cfg.FeedbackGain,
+		Recorder:         cfg.Recorder,
 	}); err != nil {
 		return err
 	}
