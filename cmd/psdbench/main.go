@@ -28,10 +28,14 @@
 // allocs/tick. The obs-hotpath scenario gates the observability layer
 // the same way on both of its sections: metric-instrumented events at
 // 0.01 allocs/event AND flight-recorded control ticks at 0.01
-// allocs/tick. The allocation gates are machine-independent; the
-// throughput comparison is only meaningful against a baseline from
-// comparable hardware, so CI pairs a generous tolerance with the exact
-// allocation gates.
+// allocs/tick. The live-contention scenario (schema v4) storms the live
+// server's sharded front door in-process at GOMAXPROCS=1 and again at
+// GOMAXPROCS=min(NumCPU,8), gating 0.01 allocs/request under contention
+// plus a core-aware speedup floor (>= 0.5·P with 4+ cores, >= 1x on
+// 2-3 cores, skipped on a single core). The allocation gates are
+// machine-independent; the throughput comparison is only meaningful
+// against a baseline from comparable hardware, so CI pairs a generous
+// tolerance with the exact allocation gates.
 package main
 
 import (
@@ -79,6 +83,16 @@ type scenarioResult struct {
 	Ticks         int     `json:"ticks,omitempty"`
 	TicksPerSec   float64 `json:"ticks_per_sec,omitempty"`
 	AllocsPerTick float64 `json:"allocs_per_tick,omitempty"`
+	// Live-contention metrics (live-contention scenario only, schema v4):
+	// the in-process front-door storm at GOMAXPROCS=StormProcs vs the
+	// same storm at GOMAXPROCS=1, on a machine with StormCores CPUs.
+	Requests         int     `json:"requests,omitempty"`
+	ReqsPerSec       float64 `json:"reqs_per_sec,omitempty"`
+	SerialReqsPerSec float64 `json:"serial_reqs_per_sec,omitempty"`
+	Speedup          float64 `json:"speedup,omitempty"`
+	StormProcs       int     `json:"storm_procs,omitempty"`
+	StormCores       int     `json:"storm_cores,omitempty"`
+	AllocsPerReq     float64 `json:"allocs_per_req,omitempty"`
 }
 
 type report struct {
@@ -111,14 +125,15 @@ func buildCommit() string {
 }
 
 type scenario struct {
-	name        string
-	deltas      []float64
-	load        float64
-	packetized  bool
-	trace       bool
-	figureSweep bool
-	controlTick bool
-	obsHotpath  bool
+	name           string
+	deltas         []float64
+	load           float64
+	packetized     bool
+	trace          bool
+	figureSweep    bool
+	controlTick    bool
+	obsHotpath     bool
+	liveContention bool
 }
 
 func scenarios() []scenario {
@@ -131,6 +146,7 @@ func scenarios() []scenario {
 		{name: "figure2-sweep", deltas: []float64{1, 2}, figureSweep: true},
 		{name: "control-tick", deltas: []float64{1, 2, 3, 4, 6, 8, 12, 16}, controlTick: true},
 		{name: "obs-hotpath", deltas: []float64{1, 2, 3, 4, 6, 8, 12, 16}, obsHotpath: true},
+		{name: "live-contention", deltas: []float64{1, 2, 4, 8}, liveContention: true},
 	}
 }
 
@@ -153,7 +169,7 @@ func main() {
 	})
 
 	rep := report{
-		Schema:      "psd-bench/v3",
+		Schema:      "psd-bench/v4",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -167,7 +183,10 @@ func main() {
 			fatalf("%s: %v", sc.name, err)
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
-		if sc.obsHotpath {
+		if sc.liveContention {
+			fmt.Fprintf(os.Stderr, "%-28s %10d reqs    %8.3fs  %12.0f reqs/s    %5.2fx speedup @%dprocs/%dcores  %.4f allocs/req\n",
+				res.Name, res.Requests, res.WallSeconds, res.ReqsPerSec, res.Speedup, res.StormProcs, res.StormCores, res.AllocsPerReq)
+		} else if sc.obsHotpath {
 			fmt.Fprintf(os.Stderr, "%-28s %10d events  %8.3fs  %12.0f events/s  %.4f allocs/event  %.4f allocs/tick\n",
 				res.Name, res.Events, res.WallSeconds, res.EventsPerSec, res.AllocsPerEvent, res.AllocsPerTick)
 		} else if sc.controlTick {
@@ -267,6 +286,21 @@ func compareAgainst(path string, cur report, tol float64) []string {
 				failures = append(failures, fmt.Sprintf(
 					"%s: %.4f allocs/tick breaches the %.2f gate", s.Name, s.AllocsPerTick, allocsPerTickGate))
 			}
+		case "live-contention":
+			if s.AllocsPerReq > allocsPerReqGate {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.4f allocs/request breaches the %.2f gate (admitted path must not allocate under contention)",
+					s.Name, s.AllocsPerReq, allocsPerReqGate))
+			}
+			if floor, ok := liveSpeedupFloor(s.StormProcs, s.StormCores); !ok {
+				fmt.Fprintf(os.Stderr,
+					"psdbench: note: %s speedup gate skipped (%d core(s); parallel storm measures only scheduling overhead)\n",
+					s.Name, s.StormCores)
+			} else if s.Speedup < floor {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.2fx speedup at GOMAXPROCS=%d on %d cores, want >= %.2fx (front door no longer scales)",
+					s.Name, s.Speedup, s.StormProcs, s.StormCores, floor))
+			}
 		default:
 			if s.AllocsPerEvent > allocsPerEventGate {
 				failures = append(failures, fmt.Sprintf(
@@ -294,6 +328,8 @@ func compareAgainst(path string, cur report, tol float64) []string {
 			check("reps/s", b.RepsPerSec, s.RepsPerSec)
 		case "control-tick", "obs-hotpath":
 			check("ticks/s", b.TicksPerSec, s.TicksPerSec)
+		case "live-contention":
+			check("reqs/s", b.ReqsPerSec, s.ReqsPerSec)
 		}
 	}
 	return failures
@@ -322,6 +358,9 @@ func runScenario(sc scenario, runs int, warmup, horizon float64, seed uint64) (s
 	}
 	if sc.obsHotpath {
 		return runObsHotpath(sc)
+	}
+	if sc.liveContention {
+		return runLiveContention(sc)
 	}
 	cfg := simsrv.EqualLoadConfig(sc.deltas, sc.load, nil)
 	cfg.Warmup = warmup

@@ -13,6 +13,12 @@
 // simulator's LoadStep schedule. -report-json writes the full machine-
 // readable report — including per-class client-side latency histograms
 // (log₂ ms buckets) — to a file ("-" for stdout).
+//
+// Requests are issued by a fixed worker pool (-workers) over kept-alive,
+// reused connections; arrivals that find the dispatch queue
+// (-max-pending) full are shed client-side and counted as errors, so an
+// overloaded server degrades the report instead of ballooning the
+// client's goroutine and connection counts.
 package main
 
 import (
@@ -40,6 +46,8 @@ func main() {
 		stepAfter   = flag.Duration("step-after", 0, "step the load at this point of the run (0: no step)")
 		stepLambdas = flag.String("step-lambdas", "", "per-class arrival rates after -step-after")
 		drain       = flag.Duration("drain", 0, "extra wait for in-flight requests after arrivals stop")
+		workers     = flag.Int("workers", 0, "HTTP worker pool size (0: default 256); connections are kept alive and reused")
+		maxPending  = flag.Int("max-pending", 0, "dispatch queue bound before client-side shedding (0: default 4x -workers)")
 		reportJSON  = flag.String("report-json", "", `write the full report as JSON to this file ("-": stdout)`)
 		alpha       = flag.Float64("alpha", 1.5, "Bounded Pareto shape for request sizes")
 		lower       = flag.Float64("lower", 0.1, "Bounded Pareto lower bound")
@@ -58,11 +66,13 @@ func main() {
 	}
 
 	cfg := loadgen.Config{
-		BaseURL:  *url,
-		TimeUnit: *timeUnit,
-		Service:  svc,
-		Drain:    *drain,
-		Seed:     *seed,
+		BaseURL:    *url,
+		TimeUnit:   *timeUnit,
+		Service:    svc,
+		Drain:      *drain,
+		Workers:    *workers,
+		MaxPending: *maxPending,
+		Seed:       *seed,
 	}
 	if *stepAfter > 0 {
 		if !(*stepAfter < *duration) {

@@ -57,6 +57,8 @@ func main() {
 		admBurst  = flag.Float64("admission-burst", 10, "token bucket: per-class credit cap in work units")
 		flightrec = flag.Int("flightrec", 256, "control-plane flight recorder capacity in ticks (dump: GET /debug/control)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		workers   = flag.Int("workers-per-class", 1, "pacing workers per class; each paces at rate/N so the class aggregate is unchanged")
+		minRate   = flag.Float64("min-rate", 0, "allocator-side per-class rate floor in capacity fractions (0: default 1e-3, negative: disable)")
 		seed      = flag.Uint64("seed", 1, "server-side sampling seed")
 	)
 	flag.Parse()
@@ -82,6 +84,8 @@ func main() {
 		Service:            svc,
 		TimeUnit:           *timeUnit,
 		Window:             *window,
+		WorkersPerClass:    *workers,
+		MinRate:            *minRate,
 		Feedback:           *feedback,
 		Estimator:          kind,
 		EWMAAlpha:          *ewmaAlpha,
@@ -106,8 +110,8 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), estimator=%s, feedback=%v, admission=%s, pprof=%v",
-		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), kind, *feedback, *admPolicy, *pprofOn)
+	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), workers/class=%d, estimator=%s, feedback=%v, admission=%s, pprof=%v",
+		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), *workers, kind, *feedback, *admPolicy, *pprofOn)
 	log.Printf("work endpoint: GET /?class=N&size=X   metrics: GET /metrics (JSON), /metrics/prom (Prometheus), /debug/control (flight recorder)")
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatalf("%v", err)

@@ -65,7 +65,10 @@
 //	internal/workload  session-based e-commerce request streams
 //	internal/loadgen   open-loop Poisson HTTP load driver with phased
 //	                   (load-step) schedules and per-phase reports
-//	internal/httpsrv   PSD on a real net/http server: rate-change-aware
+//	internal/httpsrv   PSD on a real net/http server: a lock-free sharded
+//	                   front door (atomic epoch-versioned rate publication,
+//	                   striped Swap-drained window accounting, pooled jobs,
+//	                   N pacing workers per class), rate-change-aware
 //	                   worker pacing (GPS fluid model under rate churn),
 //	                   pluggable admission gate, overload-honest estimation
 //	internal/figures   Figures 2–12 regeneration (on internal/sweep)
@@ -87,9 +90,12 @@
 // BenchmarkFigureSweep tracks full-figure throughput; cmd/psdbench runs
 // the same scenarios — plus control-tick and obs-hotpath scenarios
 // gating the shared control plane and the fully instrumented request
-// path (metrics + flight recorder) at zero allocations — writes the
-// committed BENCH_psd.json baseline, and in -compare mode turns regressions into
-// non-zero exits (CI runs it).
+// path (metrics + flight recorder) at zero allocations, and a
+// live-contention scenario storming the live server's sharded front
+// door at GOMAXPROCS=1 vs min(NumCPU,8) with core-aware speedup and
+// 0.01 allocs/request gates — writes the committed BENCH_psd.json
+// baseline, and in -compare mode turns regressions into non-zero exits
+// (CI runs it).
 // Seeded replications are reproducible bit-for-bit across engine
 // versions and across arena reuse — the golden tests in internal/simsrv
 // pin exact trajectories.

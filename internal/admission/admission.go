@@ -39,8 +39,24 @@ type Refunder interface {
 	Refund(class int, size, now float64)
 }
 
+// ClassIsolated marks controllers whose Admit/Refund calls for class i
+// read and write only class-i state, so calls for different classes may
+// run concurrently under per-class serialization (each class's calls
+// still mutually excluded). TokenBucket qualifies — class i's bucket is
+// tokens[i]/last[i] and the shared Rates/Burst are read-only after
+// construction. UtilizationBound does not: its leaky integrator is one
+// global level shared by every class.
+type ClassIsolated interface {
+	// ClassIsolated is a marker; implementations promise the contract
+	// above.
+	ClassIsolated()
+}
+
 // AlwaysAdmit admits everything — the open-door control.
 type AlwaysAdmit struct{}
+
+// ClassIsolated implements the marker: AlwaysAdmit has no state at all.
+func (AlwaysAdmit) ClassIsolated() {}
 
 // Name implements Controller.
 func (AlwaysAdmit) Name() string { return "always" }
@@ -188,6 +204,11 @@ func (tb *TokenBucket) Refund(class int, size, _ float64) {
 	}
 }
 
+// ClassIsolated implements the marker: class i's Admit and Refund touch
+// only tokens[i] and last[i]; Rates and Burst are read-only after
+// construction.
+func (tb *TokenBucket) ClassIsolated() {}
+
 // Tokens returns class i's current credit at time now.
 func (tb *TokenBucket) Tokens(class int, now float64) float64 {
 	if class < 0 || class >= len(tb.Rates) {
@@ -209,4 +230,7 @@ var (
 	_ Controller = (*TokenBucket)(nil)
 	_ Refunder   = (*UtilizationBound)(nil)
 	_ Refunder   = (*TokenBucket)(nil)
+
+	_ ClassIsolated = AlwaysAdmit{}
+	_ ClassIsolated = (*TokenBucket)(nil)
 )

@@ -1,0 +1,108 @@
+package core
+
+import "fmt"
+
+// MinRate wraps a base allocator with a feasibility-region minimum: any
+// class whose allocated rate falls below Min is raised to Min, and the
+// deficit is taken from the other classes proportionally to their slack
+// above their own floor (max(Min, λ_jE[X])). This moves the
+// non-positive-rate guard out of the pacing layer and into the
+// allocation itself: a starved class (λ̂ = 0, or a vanishing surplus
+// share) still receives a schedulable trickle, so the server-side
+// minPaceRate clamp becomes a pure regression tripwire instead of a
+// load-bearing correction.
+//
+// The wrapper is bit-transparent when the floor does not bind: if every
+// base rate is ≥ Min, the base allocation is returned untouched, so
+// seeded parity tests against the bare allocator keep passing
+// bit-for-bit. When redistribution is impossible — n·Min ≥ 1, or the
+// donors' slack cannot cover the deficit without pushing a donor to (or
+// below) its own floor — the base allocation is likewise returned
+// untouched and the pacing tripwire downstream accounts the clamp.
+type MinRate struct {
+	Base Allocator
+	// Min is the per-class rate floor in units of server capacity
+	// (capacity is 1). Non-positive disables the wrapper.
+	Min float64
+}
+
+// Name implements Allocator.
+func (m MinRate) Name() string { return m.Base.Name() + "+minrate" }
+
+// Allocate implements Allocator.
+func (m MinRate) Allocate(classes []Class, w Workload) (Allocation, error) {
+	var alloc Allocation
+	if err := m.AllocateInto(&alloc, classes, w); err != nil {
+		return Allocation{}, err
+	}
+	return alloc, nil
+}
+
+// AllocateInto implements InPlaceAllocator. It is allocation-free
+// whenever the base allocator's in-place path is.
+func (m MinRate) AllocateInto(dst *Allocation, classes []Class, w Workload) error {
+	if m.Base == nil {
+		return fmt.Errorf("core: MinRate with nil base allocator")
+	}
+	if err := AllocateInto(m.Base, dst, classes, w); err != nil {
+		return err
+	}
+	if !(m.Min > 0) {
+		return nil
+	}
+	binding := false
+	for _, r := range dst.Rates {
+		if r < m.Min {
+			binding = true
+			break
+		}
+	}
+	if !binding {
+		// Bit-identical passthrough: the floor changes nothing, so the
+		// base allocator's exact rates (and slowdown predictions) stand.
+		return nil
+	}
+	n := len(dst.Rates)
+	if m.Min*float64(n) >= 1 {
+		// The floor alone exceeds capacity; no redistribution can honor
+		// it. Keep the base allocation and let the pacing tripwire count.
+		return nil
+	}
+	// Deficit: rate owed to floored classes. Slack: what each donor can
+	// give up while staying strictly above its own floor
+	// max(Min, λ_jE[X]) — never push a donor into instability (Theorem 1
+	// blows up at r_j = λ_jE[X]) or below the very floor being enforced.
+	deficit, slack := 0.0, 0.0
+	for i, r := range dst.Rates {
+		if r < m.Min {
+			deficit += m.Min - r
+			continue
+		}
+		slack += r - donorFloor(m.Min, classes[i], w)
+	}
+	if deficit >= slack {
+		return nil // cannot cover without breaking a donor: keep base rates
+	}
+	scale := deficit / slack
+	for i, r := range dst.Rates {
+		if r < m.Min {
+			dst.Rates[i] = m.Min
+			continue
+		}
+		dst.Rates[i] = r - scale*(r-donorFloor(m.Min, classes[i], w))
+	}
+	// The rates moved off the base allocation: re-derive the Theorem 1
+	// slowdown predictions under the adjusted vector.
+	return slowdownUnderRatesInto(dst.ExpectedSlowdowns, classes, w, dst.Rates)
+}
+
+// donorFloor is the lowest rate a donor class may be shaved to: the
+// enforced minimum, or its raw demand when that is higher.
+func donorFloor(min float64, c Class, w Workload) float64 {
+	if d := c.Lambda * w.MeanSize; d > min {
+		return d
+	}
+	return min
+}
+
+var _ InPlaceAllocator = MinRate{}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func minrateWorkload(t *testing.T) Workload {
+	t.Helper()
+	// Simple synthetic moments: E[X]=1, E[X²]=2, E[1/X]=1.5.
+	w := Workload{MeanSize: 1, SecondMoment: 2, InverseMoment: 1.5}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestMinRatePassthroughBitIdentical pins the wrapper's transparency
+// contract: when no base rate falls below the floor, the wrapped
+// allocation is bit-for-bit the base allocation — sim/live parity
+// depends on this.
+func TestMinRatePassthroughBitIdentical(t *testing.T) {
+	w := minrateWorkload(t)
+	classes := []Class{{Delta: 1, Lambda: 0.3}, {Delta: 2, Lambda: 0.2}, {Delta: 4, Lambda: 0.1}}
+	base, err := PSD{}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := MinRate{Base: PSD{}, Min: 1e-3}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Rates {
+		if base.Rates[i] != wrapped.Rates[i] {
+			t.Fatalf("class %d rate %.17g != base %.17g (must be bit-identical when floor unbound)",
+				i, wrapped.Rates[i], base.Rates[i])
+		}
+		if base.ExpectedSlowdowns[i] != wrapped.ExpectedSlowdowns[i] {
+			t.Fatalf("class %d slowdown prediction diverged on passthrough", i)
+		}
+	}
+}
+
+// TestMinRateLiftsStarvedClass: a class with λ=0 gets zero rate from
+// PSD; the wrapper must lift it to the floor, keep Σr = 1, and keep
+// every loaded class strictly above its demand.
+func TestMinRateLiftsStarvedClass(t *testing.T) {
+	w := minrateWorkload(t)
+	classes := []Class{{Delta: 1, Lambda: 0.5}, {Delta: 2, Lambda: 0}}
+	const min = 1e-3
+	a, err := MinRate{Base: PSD{}, Min: min}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rates[1] != min {
+		t.Fatalf("starved class rate = %v, want exactly the floor %v", a.Rates[1], min)
+	}
+	sum := a.Rates[0] + a.Rates[1]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("rates sum to %v after redistribution, want 1", sum)
+	}
+	if !(a.Rates[0] > classes[0].Lambda*w.MeanSize) {
+		t.Fatalf("donor rate %v not strictly above its demand %v", a.Rates[0], classes[0].Lambda*w.MeanSize)
+	}
+	// Predictions were recomputed for the adjusted vector: the donor's
+	// slowdown must be the Theorem 1 value under its shaved rate.
+	want, err := SlowdownUnderRates(classes, w, a.Rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExpectedSlowdowns[0] != want[0] {
+		t.Fatalf("slowdown prediction %v not recomputed under adjusted rates (want %v)",
+			a.ExpectedSlowdowns[0], want[0])
+	}
+}
+
+// TestMinRateInfeasibleFloorKeepsBase: when n·Min ≥ 1 or the donors'
+// slack cannot cover the deficit, the base allocation must come through
+// untouched (the pacing tripwire downstream accounts for it).
+func TestMinRateInfeasibleFloorKeepsBase(t *testing.T) {
+	w := minrateWorkload(t)
+	classes := []Class{{Delta: 1, Lambda: 0.5}, {Delta: 2, Lambda: 0}}
+	base, err := PSD{}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Floor 0.6 × 2 classes > capacity 1.
+	a, err := MinRate{Base: PSD{}, Min: 0.6}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Rates {
+		if a.Rates[i] != base.Rates[i] {
+			t.Fatalf("class %d rate %v != base %v under infeasible floor", i, a.Rates[i], base.Rates[i])
+		}
+	}
+	// Slack shortage: ρ close to 1 leaves the donor almost no surplus,
+	// so a large floor for the idle class cannot be funded.
+	tight := []Class{{Delta: 1, Lambda: 0.98}, {Delta: 2, Lambda: 0}}
+	base, err = PSD{}.Allocate(tight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = MinRate{Base: PSD{}, Min: 0.05}.Allocate(tight, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Rates {
+		if a.Rates[i] != base.Rates[i] {
+			t.Fatalf("class %d rate %v != base %v when slack cannot cover deficit", i, a.Rates[i], base.Rates[i])
+		}
+	}
+}
+
+// TestMinRateDisabledAndErrors covers the degenerate configurations.
+func TestMinRateDisabledAndErrors(t *testing.T) {
+	w := minrateWorkload(t)
+	classes := []Class{{Delta: 1, Lambda: 0.5}, {Delta: 2, Lambda: 0}}
+	base, err := PSD{}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MinRate{Base: PSD{}, Min: 0}.Allocate(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rates[1] != base.Rates[1] {
+		t.Fatalf("Min=0 must disable the floor: rate %v != base %v", a.Rates[1], base.Rates[1])
+	}
+	if _, err := (MinRate{Min: 0.1}).Allocate(classes, w); err == nil {
+		t.Fatal("nil base allocator must error")
+	}
+	if got := (MinRate{Base: PSD{}, Min: 0.1}).Name(); got != "psd+minrate" {
+		t.Fatalf("Name() = %q", got)
+	}
+	// Base errors (infeasible load) propagate.
+	over := []Class{{Delta: 1, Lambda: 2}}
+	if _, err := (MinRate{Base: PSD{}, Min: 0.1}).Allocate(over, w); err == nil {
+		t.Fatal("infeasible base load must propagate the error")
+	}
+}

@@ -88,9 +88,7 @@ func TestAdmissionTokenBucket(t *testing.T) {
 		t.Fatalf("per-class rejection accounting wrong: %+v", doc.Classes)
 	}
 	// Class 0's estimator window saw only its one admitted request.
-	s.classes[0].mu.Lock()
-	arr, work := s.classes[0].arrivals, s.classes[0].work
-	s.classes[0].mu.Unlock()
+	arr, work := s.classes[0].pendingWindow()
 	if arr != 1 || work != 4 {
 		t.Fatalf("class 0 estimator window saw (%v, %v), want (1, 4): rejected demand leaked in", arr, work)
 	}
@@ -133,9 +131,7 @@ func TestQueueFullRefundsAdmission(t *testing.T) {
 	// Wait until both are inside the system (one serving, one queued).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		s.classes[0].mu.Lock()
-		admitted := s.classes[0].arrivals
-		s.classes[0].mu.Unlock()
+		admitted, _ := s.classes[0].pendingWindow()
 		if admitted == 2 {
 			break
 		}
@@ -204,10 +200,7 @@ func TestRejectedTrafficDoesNotFeedEstimator(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		rejected := s.met.rejQueueFull.At(0).Load()
-		s.classes[0].mu.Lock()
-		arrivals := s.classes[0].arrivals
-		work := s.classes[0].work
-		s.classes[0].mu.Unlock()
+		arrivals, work := s.classes[0].pendingWindow()
 		if rejected+int64(arrivals) == n {
 			if rejected < n-2 {
 				t.Fatalf("only %d queue-full rejections for %d requests against capacity 1", rejected, n)

@@ -1,0 +1,117 @@
+package httpsrv
+
+import (
+	"context"
+	"time"
+)
+
+// Status reports how the front door disposed of a request.
+type Status uint8
+
+const (
+	// Served: the request was admitted, queued, and fully paced; the
+	// Outcome is valid.
+	Served Status = iota
+	// RejectedByAdmission: the admission gate shed the request (503 on
+	// the HTTP path).
+	RejectedByAdmission
+	// RejectedQueueFull: the class queue was full; any admission credit
+	// was refunded (503 on the HTTP path).
+	RejectedQueueFull
+	// Canceled: the caller's context expired while the request was
+	// queued or in service; the worker still drains the job.
+	Canceled
+	// ShuttingDown: the server closed before the request completed.
+	ShuttingDown
+)
+
+// String names the status for logs and test failures.
+func (st Status) String() string {
+	switch st {
+	case Served:
+		return "served"
+	case RejectedByAdmission:
+		return "rejected-admission"
+	case RejectedQueueFull:
+		return "rejected-queue-full"
+	case Canceled:
+		return "canceled"
+	case ShuttingDown:
+		return "shutting-down"
+	}
+	return "unknown"
+}
+
+// Outcome is the server-side result of one served request.
+type Outcome struct {
+	// Delay is the queueing delay (enqueue to service start).
+	Delay time.Duration
+	// Service is the paced service duration.
+	Service time.Duration
+	// Slowdown is Delay/Service — the paper's per-request metric.
+	Slowdown float64
+}
+
+// Do pushes one request through the front door in-process: admission
+// gate → class queue → paced service, exactly the path ServeHTTP drives,
+// minus HTTP parsing and response encoding. It blocks until the request
+// is served, shed, or the context/server ends. This is the server's
+// programmatic interface — the live-contention benchmark hammers it from
+// many goroutines — and its steady-state admitted path performs no
+// allocation: jobs (with their result channels) come from a pool and
+// return to it once the result is consumed.
+//
+// class is clamped to the configured range (out-of-range maps to the
+// lowest tier, matching the HTTP classifier); size must be a positive,
+// finite work size — the HTTP layer validates declared sizes against
+// Config.MaxSize before calling here, and programmatic callers are
+// expected to do the same.
+func (s *Server) Do(ctx context.Context, class int, size float64) (Outcome, Status) {
+	if class < 0 || class >= len(s.classes) {
+		class = len(s.classes) - 1
+	}
+	cr := s.classes[class]
+	if !s.admit(class, size) {
+		s.reject(class, size, true)
+		return Outcome{}, RejectedByAdmission
+	}
+	j := s.jobPool.Get().(*job)
+	j.size = size
+	j.enqueued = time.Now()
+	select {
+	case cr.queue <- j:
+		cr.observeArrival(size)
+	default:
+		// Never enqueued: the job is untouched by any worker, so it can
+		// return to the pool immediately.
+		s.jobPool.Put(j)
+		if s.adm != nil {
+			s.refundAdmission(class, size)
+		}
+		s.reject(class, size, false)
+		return Outcome{}, RejectedQueueFull
+	}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case res, ok := <-j.done:
+		if !ok {
+			// A shutting-down worker closed the channel mid-service; the
+			// job is dead and must not be pooled (a closed done channel
+			// would poison a future checkout).
+			return Outcome{}, ShuttingDown
+		}
+		// The buffered result has been consumed, so the job's done
+		// channel is empty again: safe to recycle.
+		s.jobPool.Put(j)
+		return Outcome{Delay: res.delay, Service: res.service, Slowdown: res.slowdown}, Served
+	case <-ctxDone:
+		// Abandoned: a worker may still send the (buffered) result later,
+		// so the job is dropped for the GC instead of pooled.
+		return Outcome{}, Canceled
+	case <-s.ctx.Done():
+		return Outcome{}, ShuttingDown
+	}
+}

@@ -4,25 +4,35 @@
 // Architecture (the paper's Fig. 1 realized on the HTTP path):
 //
 //	requests → admission gate → classifier → per-class FCFS queue →
-//	per-class task-server goroutine (paced to its allocated rate) →
-//	response
+//	per-class task servers (paced to the class rate) → response
 //
 // Each incoming request is classified (X-PSD-Class header or ?class=
 // query parameter), assigned a service demand in work units (?size= or
 // drawn from the configured distribution), optionally vetted by a
-// pluggable admission.Controller, and queued. One worker goroutine per
-// class serves its queue FCFS, emulating a processor share on CPU-bound
-// work. The pacing is rate-change-aware: the worker pins each in-flight
-// job's remaining work and re-paces whenever the control plane installs
-// a new class rate, so a size-x job served at rate r₁ for its first
-// stretch and r₂ afterwards completes after x₁/r₁ + x₂/r₂ time units —
-// exactly the GPS fluid model the allocator assumes — instead of running
-// to a deadline computed from the rate read once at dequeue. A
-// background loop drives the SAME control plane as the simulator — one
-// shared control.Loop tick (estimate → feedback trim → allocate) every
-// Window — so the live server's rate trajectory under a given windowed
-// observation sequence is bit-identical to the simulator's (pinned by
-// TestSimVsLiveRateParity).
+// pluggable admission.Controller, and queued. WorkersPerClass worker
+// goroutines per class serve its queue, each pacing at an equal share of
+// the class rate, emulating a processor share on CPU-bound work. The
+// pacing is rate-change-aware: a worker pins each in-flight job's
+// remaining work and re-paces whenever the control plane installs a new
+// class rate, so a size-x job served at rate r₁ for its first stretch
+// and r₂ afterwards completes after x₁/r₁ + x₂/r₂ time units — exactly
+// the GPS fluid model the allocator assumes. A background loop drives
+// the SAME control plane as the simulator — one shared control.Loop tick
+// (estimate → feedback trim → allocate) every Window — so the live
+// server's rate trajectory under a given windowed observation sequence
+// is bit-identical to the simulator's (pinned by TestSimVsLiveRateParity).
+//
+// The front door is sharded: an admitted request on the steady-state
+// path takes no server-wide mutex and performs no allocation. Class
+// rates are published as atomic float64 bits with an epoch counter
+// (readers never lock, writes wake the class workers); window
+// observations land in striped per-class accumulators that the
+// reallocation tick drains with Swap (N shards merge to exactly the
+// single-stream totals); undeclared sizes are sampled from striped
+// seed-derived RNG streams; and per-class admission controllers
+// (admission.ClassIsolated) get per-class locks. Jobs are pooled. See
+// the README's "Scaling the live server" section for the protocol
+// details and invariants.
 //
 // Only admitted requests feed the load estimator: traffic shed by the
 // admission gate or a full class queue is accounted separately (rejected
@@ -50,6 +60,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"psd/internal/admission"
@@ -57,8 +68,6 @@ import (
 	"psd/internal/core"
 	"psd/internal/dist"
 	"psd/internal/obs"
-	"psd/internal/rng"
-	"psd/internal/stats"
 	"psd/internal/timeutil"
 )
 
@@ -83,6 +92,23 @@ type Config struct {
 	// QueueCapacity bounds each class queue; excess requests receive
 	// 503. Default 4096.
 	QueueCapacity int
+	// WorkersPerClass is how many task-server goroutines serve each
+	// class queue (default 1). Each worker paces at an equal share of
+	// the class rate, so the class's aggregate service capacity is the
+	// allocated r_i regardless of the worker count; more workers let one
+	// class's service overlap across cores (and let a huge job stop
+	// blocking the whole class) at the cost of strict FCFS completion
+	// order within the class.
+	WorkersPerClass int
+	// MinRate is the per-class allocation floor in capacity fractions:
+	// the configured Allocator is wrapped in core.MinRate{Min: MinRate},
+	// so a starved class is lifted to a schedulable trickle inside the
+	// feasibility region instead of at the pacing layer. 0 means the
+	// default (the pacing minPaceRate, 1e-3); negative disables the
+	// wrapper. The pacing-side clamp remains as a regression tripwire
+	// (rate_floor_clamps) and should stay at zero when the wrapper is
+	// active.
+	MinRate float64
 	// Feedback enables the control.RatioController trim loop on
 	// measured slowdown ratios (the paper's future-work extension).
 	Feedback bool
@@ -102,9 +128,10 @@ type Config struct {
 	// Admission optionally gates requests before they reach the class
 	// queues (nil admits everything). The controller's clock runs in time
 	// units since server start; rejected requests receive 503 and are
-	// accounted per class without feeding the load estimator. The server
-	// serializes Admit calls, so non-thread-safe controllers
-	// (admission.UtilizationBound, admission.TokenBucket) are fine.
+	// accounted per class without feeding the load estimator. Admit
+	// calls are serialized per class when the controller implements
+	// admission.ClassIsolated (TokenBucket, AlwaysAdmit), globally
+	// otherwise, so non-thread-safe controllers are fine either way.
 	Admission admission.Controller
 	// FlightRecorderSize is the control-plane flight recorder's ring
 	// capacity in ticks (default 256): the last N control decisions are
@@ -133,6 +160,12 @@ func (c Config) withDefaults() Config {
 	if c.QueueCapacity == 0 {
 		c.QueueCapacity = 4096
 	}
+	if c.WorkersPerClass == 0 {
+		c.WorkersPerClass = 1
+	}
+	if c.MinRate == 0 {
+		c.MinRate = minPaceRate
+	}
 	if c.FeedbackGain == 0 {
 		c.FeedbackGain = 0.3
 	}
@@ -145,7 +178,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// job is one queued request.
+// job is one queued request. Jobs are pooled (Server.jobPool): the done
+// channel is created once per job and reused, and a job returns to the
+// pool only after its result has been consumed — an abandoned job
+// (caller gone, or shutdown mid-service) is simply dropped for the GC so
+// a late worker send can never leak into a fresh checkout.
 type job struct {
 	size     float64
 	enqueued time.Time
@@ -158,34 +195,42 @@ type jobResult struct {
 	slowdown float64
 }
 
-// classRuntime is one task server.
+// classRuntime is one class's task-server state. The hot-path fields are
+// all lock-free: the rate is atomic float64 bits with an epoch version,
+// and the window observations live in cache-line-padded stripes drained
+// by the reallocation tick (see shard.go).
 type classRuntime struct {
 	queue chan *job
 
-	// rateSig wakes the class worker when the control plane installs a
-	// new rate, so an in-flight job re-paces instead of finishing at a
-	// stale deadline. Buffered (capacity 1) and reused: setRate posts a
-	// non-blocking signal, keeping the reallocation tick allocation-free.
-	// A coalesced or stale signal only costs the worker one idempotent
-	// re-pace at the current rate.
-	rateSig chan struct{}
+	// rateBits is the installed class rate as float64 bits: one-word
+	// atomic loads cannot tear. rateEpoch counts actual changes.
+	rateBits  atomic.Uint64
+	rateEpoch atomic.Uint64
 
-	mu         sync.Mutex
-	rate       float64
-	arrivals   float64       // current-window count (admitted requests only)
-	work       float64       // current-window work (admitted requests only)
-	windowSlow stats.Welford // reset each window, feeds the controller
+	// sigs holds one buffered wake channel per class worker: setRate
+	// posts a non-blocking signal to each so in-flight jobs re-pace
+	// instead of finishing at a stale deadline.
+	sigs []chan struct{}
+
+	// stripes are the current-window arrival/work/slowdown accumulators
+	// (admitted requests only), Swap-drained by closeWindow.
+	stripes []windowStripe
 
 	// All completion/rejection accounting lives in the server's metric
-	// registry (Server.met): lock-free atomics, not fields under mu.
+	// registry (Server.met): lock-free atomics, not fields here.
 }
 
 // Server is the PSD HTTP front end. Create with New, then use as an
-// http.Handler; Close releases the workers.
+// http.Handler (or drive it in-process via Do); Close releases the
+// workers.
 type Server struct {
 	cfg      Config
 	workload core.Workload
 	classes  []*classRuntime
+
+	// perWorkerDiv divides the class rate among its workers
+	// (float64(cfg.WorkersPerClass), precomputed for the pacing path).
+	perWorkerDiv float64
 
 	// loopMu serializes the shared control plane: only the reallocation
 	// tick takes it (metrics snapshots read registry atomics instead, so
@@ -208,13 +253,18 @@ type Server struct {
 	rec     *obs.FlightRecorder
 	estName string
 
-	sizeMu  sync.Mutex
-	sizeRng *rng.Source
+	// sizeStripes shard the size-sampling RNG (see shard.go).
+	sizeStripes []rngStripe
 
-	// admMu serializes the (stateful, non-thread-safe) admission
-	// controller; nil adm admits everything.
-	admMu sync.Mutex
-	adm   admission.Controller
+	// admLocks guards the admission controller: one lock per class when
+	// the controller is admission.ClassIsolated, a single global lock
+	// otherwise. nil adm admits everything without locking.
+	admLocks []paddedMutex
+	adm      admission.Controller
+
+	// jobPool recycles job structs (with their done channels) so the
+	// admitted path allocates nothing in steady state.
+	jobPool sync.Pool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -239,6 +289,9 @@ func New(cfg Config) (*Server, error) {
 		// overflow the pacing conversion — the hole MaxSize exists to close.
 		return nil, fmt.Errorf("httpsrv: max size %v must be positive and finite", cfg.MaxSize)
 	}
+	if cfg.WorkersPerClass < 0 {
+		return nil, fmt.Errorf("httpsrv: workers per class %d must be positive", cfg.WorkersPerClass)
+	}
 	w, err := core.WorkloadFromDist(cfg.Service)
 	if err != nil {
 		return nil, err
@@ -247,25 +300,39 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	allocator := cfg.Allocator
+	if cfg.MinRate > 0 {
+		// Enforce the rate floor inside the feasibility region rather
+		// than at the pacing layer; the wrapper is bit-transparent
+		// whenever the floor does not bind (sim/live parity holds).
+		allocator = core.MinRate{Base: allocator, Min: cfg.MinRate}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	n := len(cfg.Deltas)
 	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:         cfg,
-		workload:    w,
-		tickCounts:  make([]float64, n),
-		tickWork:    make([]float64, n),
-		tickSlows:   make([]float64, n),
-		tickLambdas: make([]float64, n),
-		tickDeltas:  make([]float64, n),
-		reg:         reg,
-		met:         newServerMetrics(reg, n),
-		rec:         rec,
-		sizeRng:     rng.New(cfg.Seed),
-		adm:         cfg.Admission,
-		ctx:         ctx,
-		cancel:      cancel,
-		started:     time.Now(),
+		cfg:          cfg,
+		workload:     w,
+		perWorkerDiv: float64(cfg.WorkersPerClass),
+		tickCounts:   make([]float64, n),
+		tickWork:     make([]float64, n),
+		tickSlows:    make([]float64, n),
+		tickLambdas:  make([]float64, n),
+		tickDeltas:   make([]float64, n),
+		reg:          reg,
+		met:          newServerMetrics(reg, n),
+		rec:          rec,
+		sizeStripes:  newRNGStripes(cfg.Seed, nStripes()),
+		adm:          cfg.Admission,
+		ctx:          ctx,
+		cancel:       cancel,
+		started:      time.Now(),
+	}
+	s.jobPool.New = func() any { return &job{done: make(chan jobResult, 1)} }
+	if _, iso := cfg.Admission.(admission.ClassIsolated); iso {
+		s.admLocks = make([]paddedMutex, n)
+	} else {
+		s.admLocks = make([]paddedMutex, 1)
 	}
 	if err := s.loop.Reset(control.LoopConfig{
 		Deltas:         cfg.Deltas,
@@ -273,7 +340,7 @@ func New(cfg Config) (*Server, error) {
 		Estimator:      cfg.Estimator,
 		HistoryWindows: cfg.HistoryWindows,
 		EWMAAlpha:      cfg.EWMAAlpha,
-		Allocator:      cfg.Allocator,
+		Allocator:      allocator,
 		Workload:       w,
 		Feedback:       cfg.Feedback,
 		FeedbackGain:   cfg.FeedbackGain,
@@ -283,22 +350,30 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.estName = s.loop.EstimatorName()
-	s.classes = make([]*classRuntime, len(cfg.Deltas))
-	even := 1 / float64(len(cfg.Deltas))
+	s.classes = make([]*classRuntime, n)
+	even := 1 / float64(n)
+	stripes := nStripes()
 	for i := range s.classes {
-		s.classes[i] = &classRuntime{
+		cr := &classRuntime{
 			queue:   make(chan *job, cfg.QueueCapacity),
-			rateSig: make(chan struct{}, 1),
-			rate:    even,
+			sigs:    make([]chan struct{}, cfg.WorkersPerClass),
+			stripes: make([]windowStripe, stripes),
 		}
+		for wi := range cr.sigs {
+			cr.sigs[wi] = make(chan struct{}, 1)
+		}
+		cr.rateBits.Store(math.Float64bits(even))
+		s.classes[i] = cr
 		s.met.delta.At(i).Set(cfg.Deltas[i])
 		s.met.effDelta.At(i).Set(cfg.Deltas[i])
 		s.met.rate.At(i).Set(even)
 		s.met.windowSlow.At(i).Set(math.NaN())
 	}
 	for i := range s.classes {
-		s.wg.Add(1)
-		go s.worker(i)
+		for wi := 0; wi < cfg.WorkersPerClass; wi++ {
+			s.wg.Add(1)
+			go s.worker(i, wi)
+		}
 	}
 	s.wg.Add(1)
 	go s.reallocLoop()
@@ -312,17 +387,20 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// minPaceRate floors the pacing rate when the allocator hands a class a
-// non-positive share (a positive allocation, however small, is honored
-// honestly); each floored segment is counted in rateFloorClamps
-// (exposed at /metrics) instead of being clamped invisibly.
+// minPaceRate floors the pacing rate when the installed class rate is
+// non-positive (a positive allocation, however small, is honored
+// honestly); each floored segment is counted per class in
+// rateFloorClamps (exposed at /metrics). With the allocator-side
+// core.MinRate floor active (Config.MinRate), this clamp is a pure
+// regression tripwire that should never fire.
 const minPaceRate = 1e-3
 
-// worker is the task server for one class: FCFS, paced to the class
+// worker is one task server for a class: paced to its share of the class
 // rate, re-pacing in flight whenever the rate changes.
-func (s *Server) worker(class int) {
+func (s *Server) worker(class, widx int) {
 	defer s.wg.Done()
 	cr := s.classes[class]
+	sig := cr.sigs[widx]
 	timer := timeutil.NewStoppedTimer()
 	defer timer.Stop()
 	for {
@@ -332,7 +410,7 @@ func (s *Server) worker(class int) {
 		case j := <-cr.queue:
 			start := time.Now()
 			delay := start.Sub(j.enqueued)
-			service, ok := s.pace(cr, j.size, timer)
+			service, ok := s.pace(cr, class, sig, j.size, timer)
 			if !ok {
 				close(j.done)
 				return
@@ -356,17 +434,18 @@ const (
 	paceShutdown                    // server closed mid-service
 )
 
-// pace occupies the worker for size work units against cr's live rate —
-// the GPS fluid model on wall clock. The job's remaining work is pinned
-// here, not a deadline: each segment runs at the rate read at its start,
-// and a rate change ends the segment early, converts its elapsed wall
-// time back into completed work at the segment's rate, and re-paces the
-// remainder at the new rate. A size-x job served at r₁ then r₂ therefore
-// completes after x₁/r₁ + x₂/r₂ time units (pinned within 1% by
-// TestMultiWindowFluidCompletion), where the old read-once pacing would
-// have held the dequeue-time rate for the whole job. Returns the total
-// service duration, or ok=false if the server shut down mid-service.
-func (s *Server) pace(cr *classRuntime, size float64, timer *time.Timer) (service time.Duration, ok bool) {
+// pace occupies the worker for size work units against the class's live
+// rate — the GPS fluid model on wall clock. The worker paces at
+// rate/WorkersPerClass so the class's W workers jointly honor the
+// allocated r_i. The job's remaining work is pinned here, not a
+// deadline: each segment runs at the rate read at its start, and a rate
+// change ends the segment early, converts its elapsed wall time back
+// into completed work at the segment's rate, and re-paces the remainder
+// at the new rate. A size-x job served at r₁ then r₂ therefore completes
+// after x₁/r₁ + x₂/r₂ time units (pinned within 1% by
+// TestMultiWindowFluidCompletion). Returns the total service duration,
+// or ok=false if the server shut down mid-service.
+func (s *Server) pace(cr *classRuntime, class int, sig <-chan struct{}, size float64, timer *time.Timer) (service time.Duration, ok bool) {
 	start := time.Now()
 	segStart := start
 	remaining := size
@@ -374,10 +453,11 @@ func (s *Server) pace(cr *classRuntime, size float64, timer *time.Timer) (servic
 		rate := cr.currentRate()
 		if rate <= 0 {
 			rate = minPaceRate
-			s.met.rateFloorClamps.Inc()
+			s.met.rateFloorClamps.At(class).Inc()
 		}
+		rate /= s.perWorkerDiv
 		deadline := segStart.Add(time.Duration(remaining / rate * float64(s.cfg.TimeUnit)))
-		switch s.occupy(deadline, cr.rateSig, timer) {
+		switch s.occupy(deadline, sig, timer) {
 		case paceDone:
 			return time.Since(start), true
 		case paceRepace:
@@ -432,43 +512,13 @@ func (s *Server) occupy(deadline time.Time, rateSig <-chan struct{}, timer *time
 	}
 }
 
-func (cr *classRuntime) currentRate() float64 {
-	cr.mu.Lock()
-	defer cr.mu.Unlock()
-	return cr.rate
-}
-
 // recordCompletion accounts one served request: the lifetime slowdown and
 // latency histograms (lock-free registry atomics) plus the current-window
-// slowdown accumulator that feeds the controller (under cr.mu).
+// slowdown stripe that feeds the controller.
 func (s *Server) recordCompletion(class int, cr *classRuntime, delay, service time.Duration, sl float64) {
 	s.met.slowdown.At(class).Observe(sl)
 	s.met.latency.At(class).Observe((delay + service).Seconds())
-	cr.mu.Lock()
-	cr.windowSlow.Add(sl)
-	cr.mu.Unlock()
-}
-
-func (cr *classRuntime) observeArrival(size float64) {
-	cr.mu.Lock()
-	defer cr.mu.Unlock()
-	cr.arrivals++
-	cr.work += size
-}
-
-// closeWindow harvests and resets the per-window accumulators.
-func (cr *classRuntime) closeWindow() (count, work, meanSlow float64) {
-	cr.mu.Lock()
-	defer cr.mu.Unlock()
-	count, work = cr.arrivals, cr.work
-	cr.arrivals, cr.work = 0, 0
-	if cr.windowSlow.N() > 0 {
-		meanSlow = cr.windowSlow.Mean()
-	} else {
-		meanSlow = math.NaN()
-	}
-	cr.windowSlow = stats.Welford{}
-	return count, work, meanSlow
+	cr.observeSlowdown(sl)
 }
 
 // reject accounts one shed request (admission gate or full queue) in the
@@ -480,24 +530,6 @@ func (s *Server) reject(class int, size float64, byAdmission bool) {
 		s.met.rejQueueFull.At(class).Inc()
 	}
 	s.met.rejWork.At(class).Add(size)
-}
-
-// setRate installs a new class rate and, when it actually changed, wakes
-// the worker so any in-flight job re-paces. The signal send is
-// non-blocking into a reused buffered channel: no allocation on the
-// reallocation tick (gated by BenchmarkReallocate) and coalescing is
-// harmless — the worker re-reads the current rate when it wakes.
-func (cr *classRuntime) setRate(r float64) {
-	cr.mu.Lock()
-	changed := r != cr.rate
-	cr.rate = r
-	cr.mu.Unlock()
-	if changed {
-		select {
-		case cr.rateSig <- struct{}{}:
-		default:
-		}
-	}
 }
 
 // reallocLoop closes estimation windows and re-runs the allocator.
@@ -516,12 +548,12 @@ func (s *Server) reallocLoop() {
 	}
 }
 
-// reallocate performs one tick of the shared control plane: harvest each
-// class's window counters into preallocated scratch, drive control.Loop
-// (the exact step the simulator runs), and install the resulting rates.
-// The tick itself allocates nothing (gated by BenchmarkReallocate).
-// Exposed via the metrics reallocation counters; also called by tests
-// directly for determinism.
+// reallocate performs one tick of the shared control plane: Swap-drain
+// each class's window stripes into preallocated scratch, drive
+// control.Loop (the exact step the simulator runs), and install the
+// resulting rates. The tick itself allocates nothing (gated by
+// BenchmarkReallocate). Exposed via the metrics reallocation counters;
+// also called by tests directly for determinism.
 func (s *Server) reallocate() {
 	s.loopMu.Lock()
 	defer s.loopMu.Unlock()
@@ -586,9 +618,7 @@ func (s *Server) sizeOf(r *http.Request) (float64, error) {
 		}
 		return size, nil
 	}
-	s.sizeMu.Lock()
-	defer s.sizeMu.Unlock()
-	return s.cfg.Service.Sample(s.sizeRng), nil
+	return s.sampleSize(), nil
 }
 
 // Response is the JSON body returned for served work requests.
@@ -606,15 +636,17 @@ func (s *Server) nowUnits() float64 {
 	return float64(time.Since(s.started)) / float64(s.cfg.TimeUnit)
 }
 
-// admit consults the configured admission controller (nil admits all).
+// admit consults the configured admission controller (nil admits all)
+// under the class's admission lock.
 func (s *Server) admit(class int, size float64) bool {
 	if s.adm == nil {
 		return true
 	}
 	now := s.nowUnits()
-	s.admMu.Lock()
+	mu := s.admLock(class)
+	mu.Lock()
 	ok := s.adm.Admit(class, size, now)
-	s.admMu.Unlock()
+	mu.Unlock()
 	return ok
 }
 
@@ -628,13 +660,14 @@ func (s *Server) refundAdmission(class int, size float64) {
 		return
 	}
 	now := s.nowUnits()
-	s.admMu.Lock()
+	mu := s.admLock(class)
+	mu.Lock()
 	ref.Refund(class, size, now)
-	s.admMu.Unlock()
+	mu.Unlock()
 }
 
 // ServeHTTP implements http.Handler: every request is classified, vetted
-// by the admission gate, queued, served by its class's task server, and
+// by the admission gate, queued, served by its class's task servers, and
 // answered with its measured slowdown. GET /metrics (or the path the
 // caller mounts Metrics on) should be routed to the Metrics handler
 // instead.
@@ -651,42 +684,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cr := s.classes[class]
-	if !s.admit(class, size) {
-		s.reject(class, size, true)
-		http.Error(w, "admission denied", http.StatusServiceUnavailable)
-		return
-	}
-	j := &job{size: size, enqueued: time.Now(), done: make(chan jobResult, 1)}
-	select {
-	case cr.queue <- j:
-		cr.observeArrival(size)
-	default:
-		if s.adm != nil {
-			s.refundAdmission(class, size)
-		}
-		s.reject(class, size, false)
-		http.Error(w, "class queue full", http.StatusServiceUnavailable)
-		return
-	}
-	select {
-	case res, ok := <-j.done:
-		if !ok {
-			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-			return
-		}
+	out, status := s.Do(r.Context(), class, size)
+	switch status {
+	case Served:
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(Response{
 			Class:     class,
 			Size:      size,
-			DelayMs:   float64(res.delay) / float64(time.Millisecond),
-			ServiceMs: float64(res.service) / float64(time.Millisecond),
-			Slowdown:  res.slowdown,
+			DelayMs:   float64(out.Delay) / float64(time.Millisecond),
+			ServiceMs: float64(out.Service) / float64(time.Millisecond),
+			Slowdown:  out.Slowdown,
 		})
-	case <-r.Context().Done():
-		// Client gave up; the worker will still drain the job.
-	case <-s.ctx.Done():
+	case RejectedByAdmission:
+		http.Error(w, "admission denied", http.StatusServiceUnavailable)
+	case RejectedQueueFull:
+		http.Error(w, "class queue full", http.StatusServiceUnavailable)
+	case ShuttingDown:
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	case Canceled:
+		// Client gave up; the worker will still drain the job.
 	}
 }
 

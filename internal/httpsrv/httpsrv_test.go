@@ -221,10 +221,7 @@ func TestReallocateKeepsRatesOnInfeasible(t *testing.T) {
 	before := s.Rates()
 	// Declare an impossible load (estimated utilization >> 1 against the
 	// 1e9-unit window), then force a reallocation: rates must not change.
-	s.classes[0].mu.Lock()
-	s.classes[0].arrivals = 4e9 // λ̂ = 4/tu ⇒ ρ̂ = 4·E[X] > 1
-	s.classes[0].work = 4e9
-	s.classes[0].mu.Unlock()
+	s.classes[0].injectWindow(4e9, 4e9) // λ̂ = 4/tu ⇒ ρ̂ = 4·E[X] > 1
 	s.reallocate()
 	after := s.Rates()
 	for i := range before {

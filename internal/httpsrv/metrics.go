@@ -46,10 +46,13 @@ const (
 // operation, and every read side (JSON document, Prometheus scrape) reads
 // the same atomics without taking the control-plane mutex.
 type serverMetrics struct {
-	uptime          *obs.Gauge
-	reallocations   *obs.Counter
-	allocFailures   *obs.Counter
-	rateFloorClamps *obs.Counter
+	uptime        *obs.Gauge
+	reallocations *obs.Counter
+	allocFailures *obs.Counter
+
+	// rateFloorClamps is per class: a starved class hitting the pacing
+	// floor is attributable straight from /metrics.
+	rateFloorClamps *obs.CounterVec
 
 	delta      *obs.GaugeVec
 	effDelta   *obs.GaugeVec
@@ -72,7 +75,7 @@ func newServerMetrics(reg *obs.Registry, n int) serverMetrics {
 		uptime:          reg.Gauge(metricUptime, "Seconds since server start."),
 		reallocations:   reg.Counter(metricReallocations, "Successful control-loop ticks."),
 		allocFailures:   reg.Counter(metricAllocFailures, "Control ticks whose estimate was infeasible (previous rates retained)."),
-		rateFloorClamps: reg.Counter(metricRateFloorClamps, "Pacing segments run at the minimum-rate floor because the allocated class rate was not positive."),
+		rateFloorClamps: reg.CounterVec(metricRateFloorClamps, "Pacing segments run at the minimum-rate floor because the allocated class rate was not positive.", "class", n),
 		delta:           reg.GaugeVec(metricDelta, "Configured differentiation target delta per class.", "class", n),
 		effDelta:        reg.GaugeVec(metricEffDelta, "Effective delta handed to the allocator (feedback-trimmed).", "class", n),
 		rate:            reg.GaugeVec(metricRate, "Allocated processing rate per class (fraction of capacity).", "class", n),
@@ -104,6 +107,11 @@ type ClassMetrics struct {
 	RejectedAdmission int64   `json:"rejected_admission"`
 	RejectedQueueFull int64   `json:"rejected_queue_full"`
 	RejectedWork      float64 `json:"rejected_work"`
+	// RateFloorClamps counts this class's pacing segments run at the
+	// minPaceRate floor (installed rate ≤ 0) — with the allocator-side
+	// MinRate floor active this is a regression tripwire that should
+	// stay zero.
+	RateFloorClamps int64 `json:"rate_floor_clamps"`
 }
 
 // MetricsDocument is the full metrics payload.
@@ -120,7 +128,8 @@ type MetricsDocument struct {
 	// AdmissionPolicy names the pre-queue gate ("none" when disabled).
 	AdmissionPolicy string `json:"admission_policy"`
 	// RateFloorClamps counts pacing segments that ran at the minPaceRate
-	// floor because the installed class rate was ≤ 0.
+	// floor because the installed class rate was ≤ 0, summed over all
+	// classes (per-class counts live in Classes).
 	RateFloorClamps int64          `json:"rate_floor_clamps"`
 	Classes         []ClassMetrics `json:"classes"`
 	SlowdownRatios  []float64      `json:"slowdown_ratios"`
@@ -149,7 +158,6 @@ func (s *Server) Snapshot() MetricsDocument {
 		Reallocations:   s.met.reallocations.Load(),
 		AllocFailures:   s.met.allocFailures.Load(),
 		AdmissionPolicy: "none",
-		RateFloorClamps: s.met.rateFloorClamps.Load(),
 		Classes:         make([]ClassMetrics, n),
 		SlowdownRatios:  make([]float64, n),
 	}
@@ -172,7 +180,9 @@ func (s *Server) Snapshot() MetricsDocument {
 			RejectedAdmission: s.met.rejAdmission.At(i).Load(),
 			RejectedQueueFull: s.met.rejQueueFull.At(i).Load(),
 			RejectedWork:      s.met.rejWork.At(i).Load(),
+			RateFloorClamps:   s.met.rateFloorClamps.At(i).Load(),
 		}
+		doc.RateFloorClamps += cm.RateFloorClamps
 		doc.Classes[i] = cm
 		if i == 0 {
 			base = cm.MeanSlowdown

@@ -62,7 +62,7 @@ func TestMultiWindowFluidCompletion(t *testing.T) {
 
 	timer := timeutil.NewStoppedTimer()
 	defer timer.Stop()
-	service, ok := s.pace(cr, size, timer)
+	service, ok := s.pace(cr, 0, cr.sigs[0], size, timer)
 	wg.Wait()
 	if !ok {
 		t.Fatal("pace aborted")
@@ -112,7 +112,7 @@ func TestPaceRateFloorCounted(t *testing.T) {
 	timer := timeutil.NewStoppedTimer()
 	defer timer.Stop()
 	// 0.02 work units at the 1e-3 floor = 20 time units = 1ms.
-	if _, ok := s.pace(cr, 0.02, timer); !ok {
+	if _, ok := s.pace(cr, 0, cr.sigs[0], 0.02, timer); !ok {
 		t.Fatal("pace aborted")
 	}
 	if got := s.Snapshot().RateFloorClamps; got < 1 {

@@ -127,12 +127,10 @@ func TestSimVsLiveRateParity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v: loop tick %d: %v", kind, k, err)
 			}
-			// Feed the server the same window and tick it.
+			// Feed the server the same window and tick it (the previous
+			// tick drained every stripe, so injecting adds == sets).
 			for i, cr := range srv.classes {
-				cr.mu.Lock()
-				cr.arrivals = counts[k][i]
-				cr.work = work[k][i]
-				cr.mu.Unlock()
+				cr.injectWindow(int64(counts[k][i]), work[k][i])
 			}
 			srv.reallocate()
 			live := srv.Rates()
@@ -213,10 +211,7 @@ func TestMetricsExposeControlPlane(t *testing.T) {
 	}
 	// Force an infeasible window: the failure counter must move and the
 	// success counter must not.
-	s.classes[0].mu.Lock()
-	s.classes[0].arrivals = 4e12 // survives EWMA smoothing with ρ̂ >> 1
-	s.classes[0].work = 4e12
-	s.classes[0].mu.Unlock()
+	s.classes[0].injectWindow(4e12, 4e12) // survives EWMA smoothing with ρ̂ >> 1
 	s.reallocate()
 	doc = s.Snapshot()
 	if doc.Reallocations != 1 || doc.AllocFailures != 1 {
@@ -251,11 +246,8 @@ func BenchmarkReallocate(b *testing.B) {
 	defer s.Close()
 	feed := func() {
 		for i, cr := range s.classes {
-			cr.mu.Lock()
-			cr.arrivals = float64(8 - i)
-			cr.work = float64(8-i) * 0.3
-			cr.windowSlow.Add(float64(i + 1))
-			cr.mu.Unlock()
+			cr.injectWindow(int64(8-i), float64(8-i)*0.3)
+			cr.observeSlowdown(float64(i + 1))
 		}
 	}
 	feed()

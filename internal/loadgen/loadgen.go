@@ -9,9 +9,13 @@
 //
 // Arrivals are scheduled against an absolute next-arrival clock with a
 // reused timer: the gap timer never stacks on top of per-iteration work
-// (size sampling, goroutine spawn), so the achieved rate tracks the
-// nominal λ even at thousands of requests per second (pinned by
-// TestOpenLoopRateAccuracy).
+// (size sampling, dispatch), so the achieved rate tracks the nominal λ
+// even at thousands of requests per second (pinned by
+// TestOpenLoopRateAccuracy). Requests are issued by a fixed worker pool
+// over keep-alive connections (Config.Workers bounds in-flight
+// concurrency, Config.MaxPending the dispatch queue); an arrival that
+// would have to wait for a worker is shed client-side as sent+error, so
+// a saturated server degrades the report, never the arrival process.
 package loadgen
 
 import (
@@ -76,9 +80,24 @@ type Config struct {
 	// generation stops (default 0: outstanding requests are canceled at
 	// the end of the last phase, biasing the tail of heavy-tailed runs).
 	Drain time.Duration
+	// Workers sizes the request worker pool: the hard bound on
+	// concurrently in-flight HTTP requests across all classes (default
+	// 256). The pool reuses keep-alive connections (see the default
+	// client's transport) instead of spawning one goroutine — and, under
+	// churn, one connection — per arrival, so the client side stops
+	// being the λ ceiling in saturation studies.
+	Workers int
+	// MaxPending bounds the dispatch queue between the arrival
+	// schedulers and the worker pool (default 4×Workers). An arrival
+	// that finds every worker busy and the queue full is shed
+	// client-side and counted as sent+error: the open-loop clock never
+	// blocks on a slow server, which would silently turn the generator
+	// closed-loop.
+	MaxPending int
 	// Seed drives the arrival and size streams.
 	Seed uint64
-	// Client optionally overrides the HTTP client.
+	// Client optionally overrides the HTTP client (default: keep-alives
+	// with an idle-connection pool sized to Workers).
 	Client *http.Client
 }
 
@@ -195,7 +214,21 @@ func validate(cfg Config) error {
 	if cfg.Drain < 0 {
 		return fmt.Errorf("loadgen: drain %v must not be negative", cfg.Drain)
 	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("loadgen: workers %d must not be negative", cfg.Workers)
+	}
+	if cfg.MaxPending < 0 {
+		return fmt.Errorf("loadgen: max pending %d must not be negative", cfg.MaxPending)
+	}
 	return nil
+}
+
+// task is one scheduled arrival handed from a class's arrival generator
+// to the worker pool.
+type task struct {
+	class      int
+	size       float64
+	pcol, ocol *classCollector
 }
 
 // Run drives the configured load until the schedule elapses (or ctx is
@@ -210,9 +243,27 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Service == nil {
 		cfg.Service = dist.PaperDefault()
 	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 256
+	}
+	maxPending := cfg.MaxPending
+	if maxPending == 0 {
+		maxPending = 4 * workers
+	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: 2 * time.Minute}
+		// Idle pool sized to the worker pool: every worker can hold a
+		// keep-alive connection, so steady-state load runs over reused
+		// connections instead of a dial per request.
+		client = &http.Client{
+			Timeout: 2 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        workers,
+				MaxIdleConnsPerHost: workers,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
 	}
 	phases := cfg.phases()
 	nClasses := len(phases[0].Lambdas)
@@ -246,14 +297,26 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		overall[i] = newCollector()
 	}
 
+	// The worker pool: a fixed set of request goroutines draining the
+	// dispatch queue, bounding in-flight requests at `workers`.
+	tasks := make(chan task, maxPending)
+	var poolWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		poolWG.Add(1)
+		go func() {
+			defer poolWG.Done()
+			for tk := range tasks {
+				fire(reqCtx, client, cfg.BaseURL, tk)
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	src := rng.New(cfg.Seed)
 	for class := 0; class < nClasses; class++ {
 		wg.Add(1)
 		go func(class int, arrivals, sizes *rng.Source) {
 			defer wg.Done()
-			var reqWG sync.WaitGroup
-			defer reqWG.Wait()
 			timer := timeutil.NewStoppedTimer()
 			defer timer.Stop()
 
@@ -271,12 +334,16 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 						if !sleepUntil(genCtx, timer, next) {
 							return
 						}
-						size := cfg.Service.Sample(sizes)
-						reqWG.Add(1)
-						go func() {
-							defer reqWG.Done()
-							fire(reqCtx, client, cfg.BaseURL, class, size, pcol, ocol)
-						}()
+						tk := task{class: class, size: cfg.Service.Sample(sizes), pcol: pcol, ocol: ocol}
+						markSent(tk)
+						select {
+						case tasks <- tk:
+						default:
+							// Pool saturated and queue full: shed the
+							// arrival client-side (sent+error) instead of
+							// blocking the open-loop clock.
+							fail([]*classCollector{tk.pcol, tk.ocol})
+						}
 						// Absolute clock: the next arrival is scheduled
 						// from the previous arrival's nominal instant, so
 						// sampling and spawn overhead never accumulate
@@ -291,6 +358,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}(class, src.Split(uint64(2*class+1)), src.Split(uint64(2*class+2)))
 	}
 	wg.Wait()
+	close(tasks) // generators done: let the pool drain and exit
+	poolWG.Wait()
 
 	rep := &Report{
 		Classes: make([]ClassReport, nClasses),
@@ -362,14 +431,20 @@ func sleepUntil(ctx context.Context, timer *time.Timer, at time.Time) bool {
 	}
 }
 
-func fire(ctx context.Context, client *http.Client, base string, class int, size float64, cols ...*classCollector) {
-	for _, col := range cols {
+// markSent accounts an arrival at dispatch time (before it reaches a
+// worker), so the sent counters reflect the open-loop arrival process
+// even when the pool sheds.
+func markSent(tk task) {
+	for _, col := range []*classCollector{tk.pcol, tk.ocol} {
 		col.mu.Lock()
 		col.sent++
 		col.mu.Unlock()
 	}
+}
 
-	u := fmt.Sprintf("%s?class=%d&size=%s", base, class, strconv.FormatFloat(size, 'g', -1, 64))
+func fire(ctx context.Context, client *http.Client, base string, tk task) {
+	cols := []*classCollector{tk.pcol, tk.ocol}
+	u := fmt.Sprintf("%s?class=%d&size=%s", base, tk.class, strconv.FormatFloat(tk.size, 'g', -1, 64))
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		fail(cols)

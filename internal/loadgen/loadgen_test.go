@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -216,5 +217,59 @@ func TestRunRespectsContextCancel(t *testing.T) {
 	}
 	if time.Since(start) > 3*time.Second {
 		t.Fatal("cancel not honored promptly")
+	}
+}
+
+// TestWorkerPoolBoundsInFlight pins the pool's two contracts: in-flight
+// requests never exceed Config.Workers, and arrivals that would have to
+// wait are shed client-side (sent = completed + errors, with errors > 0
+// under deliberate saturation) instead of blocking the open-loop clock.
+func TestWorkerPoolBoundsInFlight(t *testing.T) {
+	var inflight, peak, handled atomic.Int64
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := inflight.Add(1)
+		defer inflight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		handled.Add(1)
+		_, _ = w.Write([]byte(`{"slowdown":1,"service_ms":30}`))
+	}))
+	defer slow.Close()
+
+	det, err := dist.NewDeterministic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:    slow.URL + "/",
+		Lambdas:    []float64{1}, // 1 req/ms against 4 workers × 30ms ⇒ saturation
+		TimeUnit:   time.Millisecond,
+		Service:    det,
+		Duration:   250 * time.Millisecond,
+		Drain:      500 * time.Millisecond,
+		Workers:    4,
+		MaxPending: 2,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Classes[0]
+	if got := peak.Load(); got > 4 {
+		t.Fatalf("peak in-flight %d exceeded the 4-worker pool", got)
+	}
+	if c.Errors == 0 {
+		t.Fatal("saturating load produced no client-side sheds")
+	}
+	if c.Completed == 0 {
+		t.Fatal("no requests completed at all")
+	}
+	if c.Sent != c.Completed+c.Errors {
+		t.Fatalf("accounting leak: sent %d != completed %d + errors %d", c.Sent, c.Completed, c.Errors)
 	}
 }
