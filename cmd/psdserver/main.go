@@ -19,6 +19,13 @@
 // /metrics?format=prom) the Prometheus text exposition, /debug/control
 // the control-plane flight recorder (last -flightrec ticks). -pprof
 // additionally mounts net/http/pprof under /debug/pprof/.
+//
+// Robustness: -ladder enables graceful degradation (per-class delta
+// targets step down -ladder-rungs under sustained overload before any
+// shedding, recovering with hysteresis); -watchdog tunes the stale-tick
+// watchdog. The -chaos-* flags arm the deterministic fault-injection
+// harness (worker stalls, service spikes, corrupted control inputs,
+// dropped ticks) for resilience drills — never set them in production.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	"psd/internal/admission"
+	"psd/internal/chaos"
 	"psd/internal/control"
 	"psd/internal/dist"
 	"psd/internal/httpsrv"
@@ -60,6 +68,19 @@ func main() {
 		workers   = flag.Int("workers-per-class", 1, "pacing workers per class; each paces at rate/N so the class aggregate is unchanged")
 		minRate   = flag.Float64("min-rate", 0, "allocator-side per-class rate floor in capacity fractions (0: default 1e-3, negative: disable)")
 		seed      = flag.Uint64("seed", 1, "server-side sampling seed")
+
+		ladderOn      = flag.Bool("ladder", false, "enable the graceful-degradation ladder (degrade class deltas before shedding)")
+		ladderRungs   = flag.String("ladder-rungs", "2,4,8", "ladder delta multipliers, ascending, each > 1")
+		ladderEngage  = flag.Float64("ladder-engage-rho", 0.95, "utilization at or above which a tick counts as overloaded")
+		ladderRecover = flag.Float64("ladder-recover-rho", 0.85, "utilization at or below which a tick counts as healthy (hysteresis)")
+		watchdog      = flag.Float64("watchdog", 0, "stale-tick watchdog threshold in reallocation periods (0: default 4, negative: disable)")
+
+		chaosSeed     = flag.Uint64("chaos-seed", 0, "fault-injection seed (any chaos probability > 0 arms the injector)")
+		chaosStall    = flag.Float64("chaos-stall", 0, "per-job probability of a worker stall")
+		chaosStallDur = flag.Duration("chaos-stall-dur", 100*time.Millisecond, "injected worker stall length")
+		chaosSpike    = flag.Float64("chaos-spike", 0, "per-job probability of a service-latency spike (8x demand)")
+		chaosCorrupt  = flag.Float64("chaos-corrupt", 0, "per-tick probability of corrupting the control inputs (NaN/Inf/negative)")
+		chaosDrop     = flag.Float64("chaos-drop", 0, "per-tick probability of dropping the reallocation tick")
 	)
 	flag.Parse()
 
@@ -79,6 +100,37 @@ func main() {
 	if err != nil {
 		fatalf("bad admission flags: %v", err)
 	}
+	var ladder *admission.Ladder
+	if *ladderOn {
+		rungs, err := parseFloats(*ladderRungs)
+		if err != nil {
+			fatalf("bad -ladder-rungs: %v", err)
+		}
+		ladder, err = admission.NewLadder(admission.LadderConfig{
+			Multipliers: rungs,
+			EngageRho:   *ladderEngage,
+			RecoverRho:  *ladderRecover,
+		}, ds)
+		if err != nil {
+			fatalf("bad ladder flags: %v", err)
+		}
+	}
+	var injector *chaos.Injector
+	if *chaosStall > 0 || *chaosSpike > 0 || *chaosCorrupt > 0 || *chaosDrop > 0 {
+		injector, err = chaos.New(chaos.Config{
+			Seed:        *chaosSeed,
+			StallProb:   *chaosStall,
+			StallDur:    *chaosStallDur,
+			SpikeProb:   *chaosSpike,
+			CorruptProb: *chaosCorrupt,
+			DropProb:    *chaosDrop,
+		})
+		if err != nil {
+			fatalf("bad chaos flags: %v", err)
+		}
+		log.Printf("CHAOS ARMED: seed=%d stall=%g spike=%g corrupt=%g drop=%g — this server injects faults into itself",
+			*chaosSeed, *chaosStall, *chaosSpike, *chaosCorrupt, *chaosDrop)
+	}
 	srv, err := httpsrv.New(httpsrv.Config{
 		Deltas:             ds,
 		Service:            svc,
@@ -92,6 +144,9 @@ func main() {
 		Admission:          gate,
 		FlightRecorderSize: *flightrec,
 		Seed:               *seed,
+		Ladder:             ladder,
+		WatchdogFactor:     *watchdog,
+		Chaos:              injector,
 	})
 	if err != nil {
 		fatalf("starting server: %v", err)

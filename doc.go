@@ -53,7 +53,15 @@
 //	                   the simulator and the live HTTP server
 //	internal/admission overload protection complementing differentiation
 //	                   (utilization bound, per-class token bucket), shared
-//	                   by the simulator and the live server's pre-queue gate
+//	                   by the simulator and the live server's pre-queue gate,
+//	                   plus the graceful-degradation ladder (scale per-class
+//	                   δ targets through rungs before shedding, hysteresis
+//	                   recovery)
+//	internal/chaos     seeded deterministic fault injection for the live
+//	                   path: worker stalls, service spikes, corrupted tick
+//	                   inputs, dropped/late ticks, clock jumps, slow-loris
+//	                   clients — per-site rng streams, nil-safe hooks,
+//	                   zero cost when absent
 //	internal/simsrv    the paper's simulation model (Fig. 1) as a
 //	                   reusable arena: Simulator Reset/RunInto plus
 //	                   streaming replication aggregation
@@ -70,7 +78,9 @@
 //	                   striped Swap-drained window accounting, pooled jobs,
 //	                   N pacing workers per class), rate-change-aware
 //	                   worker pacing (GPS fluid model under rate churn),
-//	                   pluggable admission gate, overload-honest estimation
+//	                   pluggable admission gate, overload-honest estimation,
+//	                   guarded control inputs, stale-tick watchdog, and the
+//	                   degrade-before-shed ladder
 //	internal/figures   Figures 2–12 regeneration (on internal/sweep)
 //
 // Start with AllocateRates for the analytic strategy, Simulate for the

@@ -1,0 +1,297 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, cfg Config) *Injector {
+	t.Helper()
+	inj, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative prob", Config{StallProb: -0.1}},
+		{"prob above 1", Config{CorruptProb: 1.5}},
+		{"NaN prob", Config{DropProb: math.NaN()}},
+		{"spike factor below 1", Config{SpikeProb: 0.5, SpikeFactor: 0.5}},
+		{"infinite spike factor", Config{SpikeFactor: math.Inf(1)}},
+		{"negative stall", Config{StallDur: -time.Second}},
+		{"negative jump units", Config{JumpUnits: -1}},
+		{"infinite jump units", Config{JumpUnits: math.Inf(1)}},
+		{"negative loris conns", Config{Loris: SlowLoris{Conns: -1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil {
+				t.Fatalf("New(%+v) accepted invalid config", tc.cfg)
+			}
+		})
+	}
+
+	inj := mustNew(t, Config{})
+	got := inj.Config()
+	if got.StallDur != 100*time.Millisecond || got.SpikeFactor != 8 ||
+		got.DelayDur != 200*time.Millisecond || got.JumpUnits != 100 ||
+		got.Loris.Interval != 500*time.Millisecond {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+	if !inj.Armed() {
+		t.Fatal("injector not armed at construction")
+	}
+}
+
+// workerSchedule replays nDraws job opportunities against a fresh worker
+// stream and records which fire a stall and which a spike.
+func workerSchedule(inj *Injector, class, idx, nDraws int) (stalls, spikes []bool) {
+	w := inj.Worker(class, idx)
+	for i := 0; i < nDraws; i++ {
+		stalls = append(stalls, w.StallFor() > 0)
+		spikes = append(spikes, w.InflateSize(1) != 1)
+	}
+	return stalls, spikes
+}
+
+// TestDeterministicSchedule: the same seed yields a bit-identical fault
+// schedule at every site; a different seed yields a different one.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 7, StallProb: 0.3, SpikeProb: 0.3, CorruptProb: 0.5, DropProb: 0.4, DelayProb: 0.4, JumpProb: 0.5}
+	a, b := mustNew(t, cfg), mustNew(t, cfg)
+
+	sa, pa := workerSchedule(a, 1, 0, 200)
+	sb, pb := workerSchedule(b, 1, 0, 200)
+	for i := range sa {
+		if sa[i] != sb[i] || pa[i] != pb[i] {
+			t.Fatalf("worker schedules diverge at draw %d with the same seed", i)
+		}
+	}
+
+	ta, tb := a.Tick(), b.Tick()
+	for i := 0; i < 200; i++ {
+		ca, cb := make([]float64, 3), make([]float64, 3)
+		wa, wb := make([]float64, 3), make([]float64, 3)
+		if ta.Drop() != tb.Drop() || ta.Delay() != tb.Delay() ||
+			ta.ClockJump() != tb.ClockJump() ||
+			ta.Corrupt(ca, wa, nil) != tb.Corrupt(cb, wb, nil) {
+			t.Fatalf("tick schedules diverge at tick %d with the same seed", i)
+		}
+		for k := range ca {
+			sameNaN := math.IsNaN(ca[k]) && math.IsNaN(cb[k])
+			if (ca[k] != cb[k] && !sameNaN) || (wa[k] != wb[k] && !math.IsNaN(wa[k])) {
+				t.Fatalf("tick %d corrupted different victims/values: %v/%v vs %v/%v", i, ca, wa, cb, wb)
+			}
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("same seed, different counts: %+v vs %+v", a.Counts(), b.Counts())
+	}
+
+	c := mustNew(t, Config{Seed: 8, StallProb: 0.3, SpikeProb: 0.3})
+	sc, _ := workerSchedule(c, 1, 0, 200)
+	same := true
+	for i := range sa {
+		if sa[i] != sc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 200-draw stall schedules")
+	}
+}
+
+// TestSiteStreamIndependence: distinct workers get distinct schedules,
+// and draws at one site never perturb another site's stream.
+func TestSiteStreamIndependence(t *testing.T) {
+	cfg := Config{Seed: 3, StallProb: 0.5}
+	a, b := mustNew(t, cfg), mustNew(t, cfg)
+
+	// In a, worker (0,0) draws 500 times before worker (1,2) is consulted;
+	// in b, worker (1,2) draws alone. The schedules must match anyway.
+	workerSchedule(a, 0, 0, 500)
+	sa, _ := workerSchedule(a, 1, 2, 100)
+	sb, _ := workerSchedule(b, 1, 2, 100)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("worker (1,2)'s schedule depends on worker (0,0)'s draws (diverges at %d)", i)
+		}
+	}
+
+	s00, _ := workerSchedule(mustNew(t, cfg), 0, 0, 200)
+	s01, _ := workerSchedule(mustNew(t, cfg), 0, 1, 200)
+	same := true
+	for i := range s00 {
+		if s00[i] != s01[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("workers (0,0) and (0,1) share a fault schedule")
+	}
+}
+
+// TestDisarmPausesWithoutConsuming: a disarmed injector reports no faults
+// and does not consume draws, so the schedule resumes where it paused.
+func TestDisarmPausesWithoutConsuming(t *testing.T) {
+	cfg := Config{Seed: 11, StallProb: 0.4, CorruptProb: 0.6, DropProb: 0.5}
+	ref := mustNew(t, cfg)
+	refStalls, _ := workerSchedule(ref, 0, 0, 60)
+
+	inj := mustNew(t, cfg)
+	w := inj.Worker(0, 0)
+	var got []bool
+	for i := 0; i < 30; i++ {
+		got = append(got, w.StallFor() > 0)
+	}
+	inj.Disarm()
+	for i := 0; i < 1000; i++ {
+		if w.StallFor() != 0 {
+			t.Fatal("disarmed worker stalled")
+		}
+		if inj.Tick().Drop() || inj.Tick().Corrupt([]float64{1}, []float64{1}, nil) {
+			t.Fatal("disarmed tick injected a fault")
+		}
+	}
+	if c := inj.Counts(); c.Stalls != countTrue(got) || c.DroppedTicks != 0 || c.CorruptTicks != 0 {
+		t.Fatalf("disarmed faults were counted: %+v", c)
+	}
+	inj.Arm()
+	for i := 30; i < 60; i++ {
+		got = append(got, w.StallFor() > 0)
+	}
+	for i := range refStalls {
+		if got[i] != refStalls[i] {
+			t.Fatalf("schedule did not resume after Disarm/Arm: diverges at draw %d", i)
+		}
+	}
+}
+
+func countTrue(bs []bool) int64 {
+	var n int64
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCorruptPoisonsVectors: an always-corrupt tick stream must actually
+// poison the vectors with values the control guards reject, cycling
+// through the catalog, and count every corruption.
+func TestCorruptPoisonsVectors(t *testing.T) {
+	inj := mustNew(t, Config{Seed: 5, CorruptProb: 1})
+	tick := inj.Tick()
+
+	poisoned := 0
+	for i := 0; i < 24; i++ {
+		counts := []float64{10, 10}
+		work := []float64{3, 3}
+		slows := []float64{1.5, 2.5}
+		if !tick.Corrupt(counts, work, slows) {
+			t.Fatalf("CorruptProb=1 tick %d did not corrupt", i)
+		}
+		bad := false
+		for _, v := range append(append(append([]float64{}, counts...), work...), slows...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				bad = true
+			}
+		}
+		if !bad {
+			t.Fatalf("tick %d: Corrupt returned true but vectors are clean: %v %v %v", i, counts, work, slows)
+		}
+		poisoned++
+	}
+	if c := inj.Counts().CorruptTicks; c != int64(poisoned) {
+		t.Fatalf("CorruptTicks = %d, want %d", c, poisoned)
+	}
+
+	// Without a slowdown vector the slowdown modes fall back to
+	// counts/work poison — every mode must still corrupt something.
+	for i := 0; i < 12; i++ {
+		counts := []float64{10, 10}
+		work := []float64{3, 3}
+		if !tick.Corrupt(counts, work, nil) {
+			t.Fatalf("nil-slowdown tick %d did not corrupt", i)
+		}
+		bad := false
+		for _, v := range append(append([]float64{}, counts...), work...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				bad = true
+			}
+		}
+		if !bad {
+			t.Fatalf("nil-slowdown tick %d left vectors clean: %v %v", i, counts, work)
+		}
+	}
+}
+
+// TestClockJumpAlternates: jumps alternate sign starting backwards, with
+// constant magnitude JumpUnits.
+func TestClockJumpAlternates(t *testing.T) {
+	inj := mustNew(t, Config{Seed: 2, JumpProb: 1, JumpUnits: 50})
+	tick := inj.Tick()
+	wantSign := -1.0
+	for i := 0; i < 8; i++ {
+		j := tick.ClockJump()
+		if j != wantSign*50 {
+			t.Fatalf("jump %d = %v, want %v", i, j, wantSign*50)
+		}
+		wantSign = -wantSign
+	}
+	if c := inj.Counts().ClockJumps; c != 8 {
+		t.Fatalf("ClockJumps = %d, want 8", c)
+	}
+}
+
+// TestNilHandlesAreNoOps: consumers hold nil handles when chaos is off;
+// every hook must be nil-receiver safe.
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var w *WorkerFaults
+	var tick *TickFaults
+	if w.StallFor() != 0 || w.InflateSize(3) != 3 {
+		t.Fatal("nil WorkerFaults injected")
+	}
+	if tick.Drop() || tick.Delay() != 0 || tick.ClockJump() != 0 || tick.Corrupt([]float64{1}, []float64{1}, nil) {
+		t.Fatal("nil TickFaults injected")
+	}
+}
+
+// TestZeroProbNeverFires: a prob-0 site fires nothing and consumes no
+// draws (other sites keep their schedules).
+func TestZeroProbNeverFires(t *testing.T) {
+	inj := mustNew(t, Config{Seed: 9, SpikeProb: 1})
+	w := inj.Worker(0, 0)
+	for i := 0; i < 100; i++ {
+		if w.StallFor() != 0 {
+			t.Fatal("StallProb=0 stalled")
+		}
+		if w.InflateSize(2) != 16 {
+			t.Fatal("SpikeProb=1 SpikeFactor=8 did not inflate")
+		}
+	}
+	c := inj.Counts()
+	if c.Stalls != 0 || c.Spikes != 100 {
+		t.Fatalf("counts %+v, want 0 stalls / 100 spikes", c)
+	}
+}
+
+func TestCountLorisByte(t *testing.T) {
+	inj := mustNew(t, Config{Loris: SlowLoris{Conns: 2}})
+	for i := 0; i < 5; i++ {
+		inj.CountLorisByte()
+	}
+	if c := inj.Counts().LorisBytes; c != 5 {
+		t.Fatalf("LorisBytes = %d, want 5", c)
+	}
+}

@@ -122,6 +122,50 @@ type TickInput struct {
 	// estimates handed to the allocator (the §4.4 estimation-error
 	// ablation).
 	OracleLambdas []float64
+	// DeltaScale, when non-nil, multiplies the effective δ vector after
+	// the feedback trim — the degradation-ladder hook: entries must be
+	// finite and ≥ 1 (1 leaves a class untouched; larger values degrade
+	// it toward more tolerated slowdown). Nil is bit-identical to all
+	// ones.
+	DeltaScale []float64
+}
+
+// validVec reports whether every entry of v is finite and ≥ 0 — the
+// shape every window observation (counts, work) and oracle λ must have.
+func validVec(v []float64) bool {
+	for _, x := range v {
+		// !(x >= 0) catches NaN as well as negatives.
+		if !(x >= 0) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// validSlowdowns reports whether v is a legal measured-slowdown vector:
+// NaN entries are legitimate (a class without completions), but negative
+// or infinite slowdowns are corruption.
+func validSlowdowns(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) {
+			continue
+		}
+		if x < 0 || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// validDeltaScale reports whether v is a legal degradation-scale vector
+// (every entry finite and ≥ 1).
+func validDeltaScale(v []float64) bool {
+	for _, x := range v {
+		if !(x >= 1) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // Loop is the shared estimate→control→allocate engine: one Tick closes an
@@ -164,6 +208,13 @@ type Loop struct {
 	// Flight recording (nil when not configured).
 	rec   *obs.FlightRecorder
 	ticks uint64 // completed Tick calls since Reset
+
+	// Input-guard state: rejected counts ticks that carried at least one
+	// corrupt field (NaN/Inf/negative counts, work, slowdowns, oracle λ,
+	// or δ scale); tickFlags carries the current tick's flag bits into
+	// the flight record.
+	rejected  uint64
+	tickFlags uint8
 
 	// Per-tick scratch.
 	effDeltas    []float64
@@ -252,6 +303,15 @@ func (lp *Loop) Reset(cfg LoopConfig) error {
 	}
 	lp.rec = cfg.Recorder
 	lp.ticks = 0
+	lp.rejected = 0
+	lp.tickFlags = 0
+	// Drop the retained allocation (keeping capacity): a reconfigured
+	// Loop must never report the previous configuration's last-good rate
+	// vector — an early failed tick would otherwise flight-record and
+	// hand out stale rates dimensioned for the old class set.
+	lp.alloc.Rates = lp.alloc.Rates[:0]
+	lp.alloc.ExpectedSlowdowns = lp.alloc.ExpectedSlowdowns[:0]
+	lp.alloc.Utilization = 0
 	if lp.rec != nil {
 		capacity := lp.rec.Capacity()
 		if capacity < 1 {
@@ -264,6 +324,10 @@ func (lp *Loop) Reset(cfg LoopConfig) error {
 
 // Classes returns the configured class count.
 func (lp *Loop) Classes() int { return lp.classes }
+
+// InputRejected returns how many Ticks since Reset carried at least one
+// corrupt input field (discarded and replaced by last-good state).
+func (lp *Loop) InputRejected() uint64 { return lp.rejected }
 
 // EstimatorName identifies the active estimator ("window" | "ewma").
 func (lp *Loop) EstimatorName() string { return lp.kind.String() }
@@ -338,24 +402,62 @@ func (lp *Loop) Tick(in TickInput) ([]float64, error) {
 	if in.OracleLambdas != nil && len(in.OracleLambdas) != lp.classes {
 		return nil, ErrDimension
 	}
+	if in.DeltaScale != nil && len(in.DeltaScale) != lp.classes {
+		return nil, ErrDimension
+	}
 	counts, work := in.Counts, in.Work
 	if counts == nil {
 		counts, work = lp.curCount, lp.curWork
 	}
-	lp.observeWindow(counts, work)
+	// Input guards: a corrupt window (NaN/Inf/negative counts or work)
+	// must not reach the estimator core — once folded in, a poisoned
+	// window skews λ̂ for the full history depth (forever under EWMA).
+	// The whole window is discarded and the estimator keeps its last-good
+	// state; the tick is flagged and counted, but still allocates.
+	lp.tickFlags = 0
+	if validVec(counts) && validVec(work) {
+		lp.observeWindow(counts, work)
+	} else {
+		lp.tickFlags |= obs.FlagInputRejected
+	}
 	if in.Counts == nil {
 		for i := 0; i < lp.classes; i++ {
 			lp.curCount[i] = 0
 			lp.curWork[i] = 0
 		}
 	}
+	slowdowns := in.MeasuredSlowdowns
+	if slowdowns != nil && !validSlowdowns(slowdowns) {
+		// Corrupt measurements must not steer the feedback trim; drop the
+		// vector (the controller simply skips this window's update).
+		slowdowns = nil
+		lp.tickFlags |= obs.FlagInputRejected
+	}
+	oracle := in.OracleLambdas
+	if oracle != nil && !validVec(oracle) {
+		oracle = nil
+		lp.tickFlags |= obs.FlagInputRejected
+	}
+	scale := in.DeltaScale
+	if scale != nil && !validDeltaScale(scale) {
+		scale = nil
+		lp.tickFlags |= obs.FlagInputRejected
+	}
+	if lp.tickFlags&obs.FlagInputRejected != 0 {
+		lp.rejected++
+	}
 
 	copy(lp.effDeltas, lp.deltas)
 	if lp.feedback {
-		if in.MeasuredSlowdowns != nil {
-			_ = lp.ctrl.Update(in.MeasuredSlowdowns)
+		if slowdowns != nil {
+			_ = lp.ctrl.Update(slowdowns)
 		}
 		lp.ctrl.DeltasInto(lp.effDeltas)
+	}
+	if scale != nil {
+		for i := range lp.effDeltas {
+			lp.effDeltas[i] *= scale[i]
+		}
 	}
 
 	lp.LambdasInto(lp.lambdas)
@@ -367,15 +469,15 @@ func (lp *Loop) Tick(in TickInput) ([]float64, error) {
 	}
 	for i := 0; i < lp.classes; i++ {
 		l := lp.lambdas[i]
-		if in.OracleLambdas != nil {
-			l = in.OracleLambdas[i]
+		if oracle != nil {
+			l = oracle[i]
 		}
 		lp.lambdas[i] = l // scratch now holds what the allocator sees
 		lp.allocClasses[i] = core.Class{Delta: lp.effDeltas[i], Lambda: l}
 	}
 	err := core.AllocateInto(lp.allocator, &lp.alloc, lp.allocClasses, lp.workload)
 	if lp.rec != nil {
-		lp.recordTick(in.MeasuredSlowdowns, err)
+		lp.recordTick(slowdowns, err)
 	}
 	lp.ticks++
 	if err != nil {
@@ -391,7 +493,7 @@ func (lp *Loop) Tick(in TickInput) ([]float64, error) {
 // the retained previous allocation (the allocator leaves them untouched
 // on error), or NaN before any allocation succeeded.
 func (lp *Loop) recordTick(slowdowns []float64, allocErr error) {
-	var flags uint8
+	flags := lp.tickFlags
 	rates := lp.alloc.Rates
 	if len(rates) != lp.classes {
 		rates = nil

@@ -71,7 +71,8 @@ func (s *Server) Do(ctx context.Context, class int, size float64) (Outcome, Stat
 		class = len(s.classes) - 1
 	}
 	cr := s.classes[class]
-	if !s.admit(class, size) {
+	ok, charged := s.admit(class, size)
+	if !ok {
 		s.reject(class, size, true)
 		return Outcome{}, RejectedByAdmission
 	}
@@ -85,7 +86,7 @@ func (s *Server) Do(ctx context.Context, class int, size float64) (Outcome, Stat
 		// Never enqueued: the job is untouched by any worker, so it can
 		// return to the pool immediately.
 		s.jobPool.Put(j)
-		if s.adm != nil {
+		if charged {
 			s.refundAdmission(class, size)
 		}
 		s.reject(class, size, false)

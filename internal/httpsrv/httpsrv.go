@@ -64,6 +64,7 @@ import (
 	"time"
 
 	"psd/internal/admission"
+	"psd/internal/chaos"
 	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/dist"
@@ -139,6 +140,28 @@ type Config struct {
 	FlightRecorderSize int
 	// Seed drives the server-side size sampling.
 	Seed uint64
+	// Ladder optionally enables Fricker-style graceful degradation:
+	// under sustained overload per-class effective δ targets step down
+	// the ladder (each class tolerates proportionally more slowdown)
+	// *before* any request is shed — the admission gate stays open until
+	// every rung is engaged — and climb back with hysteresis once the
+	// overload clears. The ladder must be dimensioned for len(Deltas)
+	// classes; New resets it, so a reconfigured server never inherits a
+	// stale degradation level.
+	Ladder *admission.Ladder
+	// WatchdogFactor arms the stale-tick watchdog: a reallocation gap
+	// longer than WatchdogFactor reallocation periods marks the control
+	// loop stalled (psd_watchdog_stalled gauge + a FlagStaleTick flight
+	// record), freezes pacing at the last-good rates, and discards the
+	// overlong window rather than feeding its inflated counts to the
+	// estimator. 0 means the default factor 4; negative disables the
+	// watchdog.
+	WatchdogFactor float64
+	// Chaos optionally wires the fault-injection harness into the worker
+	// and control-tick paths (worker stalls, service spikes, corrupted
+	// tick inputs, dropped/late ticks, admission-clock jumps). Nil — the
+	// production configuration — leaves every hot path untouched.
+	Chaos *chaos.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +197,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlightRecorderSize == 0 {
 		c.FlightRecorderSize = 256
+	}
+	if c.WatchdogFactor == 0 {
+		c.WatchdogFactor = 4
 	}
 	return c
 }
@@ -244,6 +270,32 @@ type Server struct {
 	tickSlows   []float64
 	tickLambdas []float64
 	tickDeltas  []float64
+	tickScale   []float64 // ladder δ multipliers fed to the tick
+	tickLoads   []float64 // per-class load estimates (ρ for the ladder)
+
+	// lastRejected mirrors loop.InputRejected into the registry counter
+	// (delta per tick, under loopMu).
+	lastRejected uint64
+
+	// Degradation ladder (nil when not configured). The state machine is
+	// driven by the tick under loopMu; the shed decision crosses to the
+	// lock-free admit path through ladderShed.
+	ladder     *admission.Ladder
+	ladderShed atomic.Bool
+
+	// Stale-tick watchdog: lastTickNano is the wall clock of the last
+	// reallocation attempt, staleAfter the stall threshold (0 disables).
+	// The monitor goroutine never takes loopMu — a stalled tick may be
+	// holding it.
+	lastTickNano atomic.Int64
+	staleAfter   time.Duration
+	stalledFlag  atomic.Bool
+
+	// Fault injection (nil in production). clockSkewBits accumulates
+	// injected admission-clock jumps (float64 bits, time units).
+	chaos         *chaos.Injector
+	chaosTick     *chaos.TickFaults
+	clockSkewBits atomic.Uint64
 
 	// Observability: the metric registry (served as JSON and Prometheus
 	// text) and the control-plane flight recorder (hooked into the loop,
@@ -292,6 +344,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WorkersPerClass < 0 {
 		return nil, fmt.Errorf("httpsrv: workers per class %d must be positive", cfg.WorkersPerClass)
 	}
+	if cfg.Ladder != nil && cfg.Ladder.Classes() != len(cfg.Deltas) {
+		return nil, fmt.Errorf("httpsrv: ladder dimensioned for %d classes, server has %d", cfg.Ladder.Classes(), len(cfg.Deltas))
+	}
 	w, err := core.WorkloadFromDist(cfg.Service)
 	if err != nil {
 		return nil, err
@@ -319,6 +374,10 @@ func New(cfg Config) (*Server, error) {
 		tickSlows:    make([]float64, n),
 		tickLambdas:  make([]float64, n),
 		tickDeltas:   make([]float64, n),
+		tickScale:    make([]float64, n),
+		tickLoads:    make([]float64, n),
+		ladder:       cfg.Ladder,
+		chaos:        cfg.Chaos,
 		reg:          reg,
 		met:          newServerMetrics(reg, n),
 		rec:          rec,
@@ -350,6 +409,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.estName = s.loop.EstimatorName()
+	if s.ladder != nil {
+		// A reconfigured server must start at level 0 even when the caller
+		// reuses a ladder that degraded under a previous configuration.
+		s.ladder.Reset()
+	}
+	if s.chaos != nil {
+		s.chaosTick = s.chaos.Tick()
+	}
+	if cfg.WatchdogFactor > 0 {
+		s.staleAfter = time.Duration(cfg.WatchdogFactor * cfg.Window * float64(cfg.TimeUnit))
+	}
+	s.lastTickNano.Store(time.Now().UnixNano())
 	s.classes = make([]*classRuntime, n)
 	even := 1 / float64(n)
 	stripes := nStripes()
@@ -377,6 +448,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.reallocLoop()
+	if s.staleAfter > 0 {
+		s.wg.Add(1)
+		go s.watchdogLoop()
+	}
 	return s, nil
 }
 
@@ -403,14 +478,35 @@ func (s *Server) worker(class, widx int) {
 	sig := cr.sigs[widx]
 	timer := timeutil.NewStoppedTimer()
 	defer timer.Stop()
+	// Per-worker fault stream (nil without chaos; the handle's methods
+	// no-op on nil, so the production path pays one nil check).
+	var wf *chaos.WorkerFaults
+	if s.chaos != nil {
+		wf = s.chaos.Worker(class, widx)
+	}
 	for {
 		select {
 		case <-s.ctx.Done():
 			return
 		case j := <-cr.queue:
+			if d := wf.StallFor(); d > 0 {
+				// Injected worker stall: the job (and everything queued
+				// behind it) accrues real queueing delay before service.
+				timer.Reset(d)
+				select {
+				case <-timer.C:
+				case <-s.ctx.Done():
+					timeutil.StopTimer(timer)
+					close(j.done)
+					return
+				}
+			}
 			start := time.Now()
 			delay := start.Sub(j.enqueued)
-			service, ok := s.pace(cr, class, sig, j.size, timer)
+			// An injected service spike inflates the paced demand only —
+			// the estimator saw the true size at arrival, which is exactly
+			// the modeling error the control plane must absorb.
+			service, ok := s.pace(cr, class, sig, wf.InflateSize(j.size), timer)
 			if !ok {
 				close(j.done)
 				return
@@ -532,18 +628,98 @@ func (s *Server) reject(class int, size float64, byAdmission bool) {
 	s.met.rejWork.At(class).Add(size)
 }
 
-// reallocLoop closes estimation windows and re-runs the allocator.
+// reallocLoop closes estimation windows and re-runs the allocator. With
+// chaos armed, a tick may be dropped outright, delayed, or preceded by an
+// admission-clock jump — the faults the stale-tick watchdog and the clock
+// guards exist to absorb.
 func (s *Server) reallocLoop() {
 	defer s.wg.Done()
 	period := time.Duration(s.cfg.Window * float64(s.cfg.TimeUnit))
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
+	delay := timeutil.NewStoppedTimer()
+	defer delay.Stop()
 	for {
 		select {
 		case <-s.ctx.Done():
 			return
 		case <-ticker.C:
+			if tf := s.chaosTick; tf != nil {
+				if tf.Drop() {
+					continue
+				}
+				if d := tf.Delay(); d > 0 {
+					delay.Reset(d)
+					select {
+					case <-s.ctx.Done():
+						timeutil.StopTimer(delay)
+						return
+					case <-delay.C:
+					}
+				}
+				if jump := tf.ClockJump(); jump != 0 {
+					s.addClockSkew(jump)
+				}
+			}
 			s.reallocate()
+		}
+	}
+}
+
+// addClockSkew shifts the admission clock by the given number of time
+// units (fault injection only; the skew is 0 forever in production).
+func (s *Server) addClockSkew(units float64) {
+	for {
+		old := s.clockSkewBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + units)
+		if s.clockSkewBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// watchdogLoop monitors the reallocation loop from outside: if no tick
+// has run for staleAfter it marks the control plane stalled (gauge +
+// FlagStaleTick flight record with the frozen last-good rates) without
+// ever taking loopMu — the stalled tick may be holding it. Pacing needs
+// no intervention to freeze: workers keep serving at the last installed
+// rates until a healthy tick replaces them.
+func (s *Server) watchdogLoop() {
+	defer s.wg.Done()
+	poll := s.staleAfter / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	rates := make([]float64, len(s.classes))
+	lambdas := make([]float64, len(s.classes))
+	deltas := make([]float64, len(s.classes))
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+			elapsed := time.Duration(time.Now().UnixNano() - s.lastTickNano.Load())
+			if elapsed <= s.staleAfter {
+				if s.stalledFlag.CompareAndSwap(true, false) {
+					s.met.watchdogStalled.Set(0)
+				}
+				continue
+			}
+			if s.stalledFlag.CompareAndSwap(false, true) {
+				s.met.watchdogStalled.Set(1)
+				s.met.watchdogStaleTicks.Inc()
+				// Freeze marker: the last-good control state, stamped on
+				// the wall clock (the control clock is unreachable without
+				// loopMu). Reads are registry atomics and currentRate loads.
+				for i, cr := range s.classes {
+					rates[i] = cr.currentRate()
+					lambdas[i] = s.met.lambda.At(i).Load()
+					deltas[i] = s.met.effDelta.At(i).Load()
+				}
+				s.rec.Record(s.nowUnits(), obs.FlagStaleTick, lambdas, rates, nil, deltas)
+			}
 		}
 	}
 }
@@ -555,16 +731,83 @@ func (s *Server) reallocLoop() {
 // BenchmarkReallocate). Exposed via the metrics reallocation counters;
 // also called by tests directly for determinism.
 func (s *Server) reallocate() {
+	now := time.Now().UnixNano()
 	s.loopMu.Lock()
 	defer s.loopMu.Unlock()
+	last := s.lastTickNano.Swap(now)
+	if s.staleAfter > 0 && time.Duration(now-last) > s.staleAfter {
+		// The loop went stale (stalled goroutine, dropped ticks): the
+		// overlong window's counts would read as an inflated per-window λ̂,
+		// so the stripes are drained and DISCARDED, pacing stays frozen at
+		// the last-good rates, and the episode is counted and
+		// flight-recorded instead of fed to the estimator.
+		for _, cr := range s.classes {
+			cr.closeWindow()
+		}
+		s.met.watchdogStaleTicks.Inc()
+		s.met.watchdogStalled.Set(1)
+		s.stalledFlag.Store(true)
+		for i, cr := range s.classes {
+			s.tickLambdas[i] = s.met.lambda.At(i).Load()
+			s.tickCounts[i] = cr.currentRate() // scratch reuse: frozen rates
+		}
+		s.loop.EffectiveDeltasInto(s.tickDeltas)
+		s.rec.Record(s.nowUnits(), obs.FlagStaleTick, s.tickLambdas, s.tickCounts, nil, s.tickDeltas)
+		return
+	}
+	if s.stalledFlag.CompareAndSwap(true, false) {
+		s.met.watchdogStalled.Set(0)
+	}
 	for i, cr := range s.classes {
 		s.tickCounts[i], s.tickWork[i], s.tickSlows[i] = cr.closeWindow()
 	}
-	rates, err := s.loop.Tick(control.TickInput{
+	if tf := s.chaosTick; tf != nil {
+		// Estimator-corruption fault: poison this tick's input vectors in
+		// place — the control plane's guards must reject them.
+		tf.Corrupt(s.tickCounts, s.tickWork, s.tickSlows)
+	}
+	in := control.TickInput{
 		Counts:            s.tickCounts,
 		Work:              s.tickWork,
 		MeasuredSlowdowns: s.tickSlows,
-	})
+	}
+	if s.ladder != nil {
+		s.ladder.ScaleInto(s.tickScale)
+		in.DeltaScale = s.tickScale
+		if s.ladder.Engaged() {
+			// While degraded, the ratio controller must not fight the
+			// ladder (it trims toward the base targets the ladder is
+			// deliberately scaling away from): skip its update this tick.
+			in.MeasuredSlowdowns = nil
+		}
+	}
+	rates, err := s.loop.Tick(in)
+	if rej := s.loop.InputRejected(); rej != s.lastRejected {
+		s.met.tickInputRejected.Add(int64(rej - s.lastRejected))
+		s.lastRejected = rej
+	}
+	if s.ladder != nil {
+		// Feed ρ̂ (+ feasibility) into the degradation state machine and
+		// publish its decisions; the shed gate crosses to the lock-free
+		// admit path through ladderShed.
+		s.loop.LoadsInto(s.tickLoads)
+		rho := 0.0
+		for _, l := range s.tickLoads {
+			rho += l
+		}
+		s.ladder.Observe(rho, errors.Is(err, core.ErrInfeasible))
+		for i := range s.classes {
+			s.met.degradationLevel.At(i).Set(float64(s.ladder.Level(i)))
+		}
+		shed := s.ladder.MaxedOut()
+		s.ladderShed.Store(shed)
+		if shed {
+			s.met.ladderShedding.Set(1)
+		} else {
+			s.met.ladderShedding.Set(0)
+		}
+		s.ladder.ScaleInto(s.tickScale) // republish: Observe may have stepped
+	}
 	// Publish the tick's control state into the scrape gauges while still
 	// holding loopMu (the loop's buffers are only stable under it); the
 	// gauge writes themselves are lock-free atomics, so concurrent
@@ -573,7 +816,11 @@ func (s *Server) reallocate() {
 	s.loop.EffectiveDeltasInto(s.tickDeltas)
 	for i := range s.classes {
 		s.met.lambda.At(i).Set(s.tickLambdas[i])
-		s.met.effDelta.At(i).Set(s.tickDeltas[i])
+		eff := s.tickDeltas[i]
+		if s.ladder != nil {
+			eff *= s.tickScale[i]
+		}
+		s.met.effDelta.At(i).Set(eff)
 		s.met.windowSlow.At(i).Set(s.tickSlows[i])
 	}
 	if err != nil {
@@ -631,23 +878,32 @@ type Response struct {
 }
 
 // nowUnits is the admission controllers' clock: time units since server
-// start.
+// start, plus any injected clock skew (0 forever in production — the
+// skew load adds one uncontended atomic read to the admission path).
 func (s *Server) nowUnits() float64 {
-	return float64(time.Since(s.started)) / float64(s.cfg.TimeUnit)
+	return float64(time.Since(s.started))/float64(s.cfg.TimeUnit) +
+		math.Float64frombits(s.clockSkewBits.Load())
 }
 
 // admit consults the configured admission controller (nil admits all)
-// under the class's admission lock.
-func (s *Server) admit(class int, size float64) bool {
+// under the class's admission lock. charged reports whether the
+// controller actually accounted the request (so a queue-full drop knows
+// whether a refund is owed). With a degradation ladder configured, the
+// gate stays open — uncharged — until every rung is engaged: degrade
+// first, shed only when degradation has nothing left to give.
+func (s *Server) admit(class int, size float64) (ok, charged bool) {
 	if s.adm == nil {
-		return true
+		return true, false
+	}
+	if s.ladder != nil && !s.ladderShed.Load() {
+		return true, false
 	}
 	now := s.nowUnits()
 	mu := s.admLock(class)
 	mu.Lock()
-	ok := s.adm.Admit(class, size, now)
+	ok = s.adm.Admit(class, size, now)
 	mu.Unlock()
-	return ok
+	return ok, ok
 }
 
 // refundAdmission returns an admitted request's credit when it was

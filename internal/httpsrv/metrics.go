@@ -28,6 +28,14 @@ const (
 	metricRejAdmission    = "psd_class_rejected_admission_total"
 	metricRejQueueFull    = "psd_class_rejected_queue_full_total"
 	metricRejWork         = "psd_class_rejected_work_total"
+
+	// Robustness: control-plane input guards, stale-tick watchdog, and
+	// the graceful-degradation ladder.
+	metricTickInputRejected  = "psd_tick_input_rejected_total"
+	metricWatchdogStalled    = "psd_watchdog_stalled"
+	metricWatchdogStaleTicks = "psd_watchdog_stale_ticks_total"
+	metricDegradationLevel   = "psd_class_degradation_level"
+	metricLadderShedding     = "psd_ladder_shedding"
 )
 
 // Histogram layouts. Slowdowns live on [2⁻⁷, 2¹⁴) ≈ [0.008, 16384) — a
@@ -67,6 +75,12 @@ type serverMetrics struct {
 	rejAdmission *obs.CounterVec
 	rejQueueFull *obs.CounterVec
 	rejWork      *obs.FloatCounterVec
+
+	tickInputRejected  *obs.Counter
+	watchdogStalled    *obs.Gauge
+	watchdogStaleTicks *obs.Counter
+	degradationLevel   *obs.GaugeVec
+	ladderShedding     *obs.Gauge
 }
 
 // newServerMetrics registers the catalog for n classes.
@@ -87,6 +101,12 @@ func newServerMetrics(reg *obs.Registry, n int) serverMetrics {
 		rejAdmission:    reg.CounterVec(metricRejAdmission, "Requests shed by the admission gate (503).", "class", n),
 		rejQueueFull:    reg.CounterVec(metricRejQueueFull, "Requests shed by a full class queue (503).", "class", n),
 		rejWork:         reg.FloatCounterVec(metricRejWork, "Total shed demand in work units (admission gate and full queues).", "class", n),
+
+		tickInputRejected:  reg.Counter(metricTickInputRejected, "Control ticks carrying NaN/Inf/negative input fields, discarded in favor of last-good estimates."),
+		watchdogStalled:    reg.Gauge(metricWatchdogStalled, "1 while the stale-tick watchdog considers the reallocation loop stalled (pacing frozen at last-good rates)."),
+		watchdogStaleTicks: reg.Counter(metricWatchdogStaleTicks, "Stall episodes and discarded overlong estimation windows detected by the stale-tick watchdog."),
+		degradationLevel:   reg.GaugeVec(metricDegradationLevel, "Graceful-degradation ladder level per class (0 = nominal delta target).", "class", n),
+		ladderShedding:     reg.Gauge(metricLadderShedding, "1 once the degradation ladder is maxed out and the admission gate may shed."),
 	}
 }
 
@@ -112,6 +132,9 @@ type ClassMetrics struct {
 	// MinRate floor active this is a regression tripwire that should
 	// stay zero.
 	RateFloorClamps int64 `json:"rate_floor_clamps"`
+	// DegradationLevel is the class's graceful-degradation ladder level
+	// (0 = nominal δ target; always 0 without a configured ladder).
+	DegradationLevel int `json:"degradation_level"`
 }
 
 // MetricsDocument is the full metrics payload.
@@ -130,9 +153,20 @@ type MetricsDocument struct {
 	// RateFloorClamps counts pacing segments that ran at the minPaceRate
 	// floor because the installed class rate was ≤ 0, summed over all
 	// classes (per-class counts live in Classes).
-	RateFloorClamps int64          `json:"rate_floor_clamps"`
-	Classes         []ClassMetrics `json:"classes"`
-	SlowdownRatios  []float64      `json:"slowdown_ratios"`
+	RateFloorClamps int64 `json:"rate_floor_clamps"`
+	// TickInputRejected counts control ticks whose input carried
+	// NaN/Inf/negative fields (discarded, last-good estimates kept);
+	// WatchdogStaleTicks counts stall episodes and discarded overlong
+	// windows, and WatchdogStalled reports whether the stale-tick
+	// watchdog currently considers the reallocation loop stalled.
+	TickInputRejected  int64 `json:"tick_input_rejected"`
+	WatchdogStaleTicks int64 `json:"watchdog_stale_ticks"`
+	WatchdogStalled    bool  `json:"watchdog_stalled"`
+	// LadderShedding reports whether the degradation ladder is maxed out
+	// (only then may the admission gate shed requests).
+	LadderShedding bool           `json:"ladder_shedding"`
+	Classes        []ClassMetrics `json:"classes"`
+	SlowdownRatios []float64      `json:"slowdown_ratios"`
 }
 
 // jsonSafe maps NaN/Inf (which encoding/json rejects) to 0; absent
@@ -158,8 +192,13 @@ func (s *Server) Snapshot() MetricsDocument {
 		Reallocations:   s.met.reallocations.Load(),
 		AllocFailures:   s.met.allocFailures.Load(),
 		AdmissionPolicy: "none",
-		Classes:         make([]ClassMetrics, n),
-		SlowdownRatios:  make([]float64, n),
+
+		TickInputRejected:  s.met.tickInputRejected.Load(),
+		WatchdogStaleTicks: s.met.watchdogStaleTicks.Load(),
+		WatchdogStalled:    s.met.watchdogStalled.Load() != 0,
+		LadderShedding:     s.met.ladderShedding.Load() != 0,
+		Classes:            make([]ClassMetrics, n),
+		SlowdownRatios:     make([]float64, n),
 	}
 	if s.adm != nil {
 		doc.AdmissionPolicy = s.adm.Name()
@@ -181,6 +220,7 @@ func (s *Server) Snapshot() MetricsDocument {
 			RejectedQueueFull: s.met.rejQueueFull.At(i).Load(),
 			RejectedWork:      s.met.rejWork.At(i).Load(),
 			RateFloorClamps:   s.met.rateFloorClamps.At(i).Load(),
+			DegradationLevel:  int(s.met.degradationLevel.At(i).Load()),
 		}
 		doc.RateFloorClamps += cm.RateFloorClamps
 		doc.Classes[i] = cm

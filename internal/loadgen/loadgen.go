@@ -24,12 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"sync"
 	"time"
 
+	"psd/internal/chaos"
 	"psd/internal/dist"
 	"psd/internal/obs"
 	"psd/internal/rng"
@@ -99,6 +101,30 @@ type Config struct {
 	// Client optionally overrides the HTTP client (default: keep-alives
 	// with an idle-connection pool sized to Workers).
 	Client *http.Client
+	// Timeout bounds each individual request attempt (0: only the
+	// client's own timeout applies). A timed-out attempt is a transport
+	// error: retried while MaxRetries allows, an error otherwise.
+	Timeout time.Duration
+	// MaxRetries is how many times one arrival may be re-attempted after
+	// a retryable failure — a transport error (including Timeout) or a
+	// 5xx response (0: no retries). Retries are counted separately in the
+	// report (ClassReport.Retries) and only the final attempt's latency
+	// and slowdown are recorded, so retries never skew the achieved-
+	// slowdown statistics; each arrival still counts as sent exactly
+	// once.
+	MaxRetries int
+	// RetryBackoff is the base backoff before the first retry (default
+	// 10ms), doubling per attempt up to 32× the base, with ±50%
+	// deterministic seeded jitter so synchronized failures don't
+	// re-arrive in lockstep.
+	RetryBackoff time.Duration
+	// Chaos optionally attaches the fault-injection harness's client-side
+	// faults: while the injector is armed and configured with slow-loris
+	// connections, the generator holds Loris.Conns raw TCP connections to
+	// the server dribbling one header byte every Loris.Interval —
+	// connection-exhaustion pressure outside the measured request
+	// streams.
+	Chaos *chaos.Injector
 }
 
 // phases normalizes the configured schedule to a non-empty phase list.
@@ -112,9 +138,15 @@ func (cfg Config) phases() []Phase {
 // ClassReport aggregates one class's observations (for one phase, or the
 // whole run).
 type ClassReport struct {
-	Sent          int64
-	Completed     int64
-	Errors        int64
+	Sent      int64
+	Completed int64
+	Errors    int64
+	// Retries counts re-attempts after retryable failures (transport
+	// errors, 5xx). Kept apart from Sent/Completed/Errors: an arrival
+	// that eventually succeeds is one sent + one completed regardless of
+	// how many attempts it took, and only its final attempt's latency
+	// and slowdown enter the statistics.
+	Retries       int64
 	MeanSlowdown  float64 // server-reported
 	P95Slowdown   float64
 	MeanLatencyMs float64 // client-observed end-to-end
@@ -151,6 +183,7 @@ type classCollector struct {
 	sent      int64
 	completed int64
 	errors    int64
+	retries   int64
 	slow      stats.Welford
 	slowP95   *stats.P2
 	latency   stats.Welford
@@ -181,6 +214,7 @@ func (c *classCollector) report(nominal, units float64) ClassReport {
 		Sent:          c.sent,
 		Completed:     c.completed,
 		Errors:        c.errors,
+		Retries:       c.retries,
 		MeanSlowdown:  c.slow.Mean(),
 		P95Slowdown:   c.slowP95.Value(),
 		MeanLatencyMs: c.latency.Mean(),
@@ -219,6 +253,12 @@ func validate(cfg Config) error {
 	}
 	if cfg.MaxPending < 0 {
 		return fmt.Errorf("loadgen: max pending %d must not be negative", cfg.MaxPending)
+	}
+	if cfg.Timeout < 0 || cfg.RetryBackoff < 0 {
+		return fmt.Errorf("loadgen: timeout %v and retry backoff %v must not be negative", cfg.Timeout, cfg.RetryBackoff)
+	}
+	if cfg.MaxRetries < 0 {
+		return fmt.Errorf("loadgen: max retries %d must not be negative", cfg.MaxRetries)
 	}
 	return nil
 }
@@ -297,22 +337,37 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		overall[i] = newCollector()
 	}
 
+	src := rng.New(cfg.Seed)
+	pol := retryPolicy{timeout: cfg.Timeout, maxRetries: cfg.MaxRetries, backoff: cfg.RetryBackoff}
+	if pol.backoff == 0 {
+		pol.backoff = 10 * time.Millisecond
+	}
+
 	// The worker pool: a fixed set of request goroutines draining the
-	// dispatch queue, bounding in-flight requests at `workers`.
+	// dispatch queue, bounding in-flight requests at `workers`. Each
+	// worker carries its own backoff-jitter stream (ids offset by 2³² so
+	// they can never collide with the per-class arrival/size streams).
 	tasks := make(chan task, maxPending)
 	var poolWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		poolWG.Add(1)
-		go func() {
+		go func(jitter *rng.Source) {
 			defer poolWG.Done()
+			timer := timeutil.NewStoppedTimer()
+			defer timer.Stop()
 			for tk := range tasks {
-				fire(reqCtx, client, cfg.BaseURL, tk)
+				fire(reqCtx, client, cfg.BaseURL, tk, pol, jitter, timer)
 			}
-		}()
+		}(src.Split(uint64(1)<<32 + uint64(w)))
+	}
+
+	// Client-side slow-loris faults ride alongside the measured load.
+	var lorisWG sync.WaitGroup
+	if cfg.Chaos != nil && cfg.Chaos.Config().Loris.Conns > 0 {
+		runSlowLoris(reqCtx, &lorisWG, cfg.Chaos, cfg.BaseURL)
 	}
 
 	var wg sync.WaitGroup
-	src := rng.New(cfg.Seed)
 	for class := 0; class < nClasses; class++ {
 		wg.Add(1)
 		go func(class int, arrivals, sizes *rng.Source) {
@@ -360,6 +415,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	wg.Wait()
 	close(tasks) // generators done: let the pool drain and exit
 	poolWG.Wait()
+	reqCancel() // release the loris connections before reporting
+	lorisWG.Wait()
 
 	rep := &Report{
 		Classes: make([]ClassReport, nClasses),
@@ -442,29 +499,88 @@ func markSent(tk task) {
 	}
 }
 
-func fire(ctx context.Context, client *http.Client, base string, tk task) {
+// retryPolicy carries the per-attempt timeout and capped-exponential-
+// backoff retry parameters into the worker pool.
+type retryPolicy struct {
+	timeout    time.Duration
+	maxRetries int
+	backoff    time.Duration
+}
+
+// attemptResult classifies one request attempt.
+type attemptResult int
+
+const (
+	// attemptOK: served and recorded.
+	attemptOK attemptResult = iota
+	// attemptPermanent: failed in a way another attempt cannot cure
+	// (malformed request, 4xx, undecodable body).
+	attemptPermanent
+	// attemptRetryable: transport error (including a per-attempt
+	// timeout) or 5xx — the failures a healthy-again server would serve.
+	attemptRetryable
+)
+
+// fire pushes one arrival through at most 1+maxRetries attempts. The
+// arrival was already counted as sent (markSent); success records the
+// FINAL attempt's latency and slowdown only, so retried arrivals carry
+// no inflated latency into the achieved-slowdown statistics — the price
+// of the retries is visible in the separate Retries counter instead.
+func fire(ctx context.Context, client *http.Client, base string, tk task, pol retryPolicy, jitter *rng.Source, timer *time.Timer) {
 	cols := []*classCollector{tk.pcol, tk.ocol}
 	u := fmt.Sprintf("%s?class=%d&size=%s", base, tk.class, strconv.FormatFloat(tk.size, 'g', -1, 64))
+	for attempt := 0; ; attempt++ {
+		switch fireOnce(ctx, client, u, cols, pol.timeout) {
+		case attemptOK:
+			return
+		case attemptPermanent:
+			fail(cols)
+			return
+		case attemptRetryable:
+			if attempt >= pol.maxRetries || ctx.Err() != nil {
+				fail(cols)
+				return
+			}
+			for _, col := range cols {
+				col.mu.Lock()
+				col.retries++
+				col.mu.Unlock()
+			}
+			if !sleepBackoff(ctx, timer, pol.backoff, attempt, jitter) {
+				fail(cols)
+				return
+			}
+		}
+	}
+}
+
+// fireOnce performs one request attempt, recording the outcome only on
+// success.
+func fireOnce(ctx context.Context, client *http.Client, u string, cols []*classCollector, timeout time.Duration) attemptResult {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		fail(cols)
-		return
+		return attemptPermanent
 	}
 	t0 := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		fail(cols)
-		return
+		return attemptRetryable
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		fail(cols)
-		return
+		if resp.StatusCode >= http.StatusInternalServerError {
+			return attemptRetryable
+		}
+		return attemptPermanent
 	}
 	var sr serverResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		fail(cols)
-		return
+		return attemptPermanent
 	}
 	lat := time.Since(t0)
 	latMs := float64(lat) / float64(time.Millisecond)
@@ -477,6 +593,89 @@ func fire(ctx context.Context, client *http.Client, base string, tk task) {
 		col.latency.Add(latMs)
 		col.service.Add(sr.ServiceMs)
 		col.mu.Unlock()
+	}
+	return attemptOK
+}
+
+// sleepBackoff waits base·2^attempt (capped at 32× base) with ±50%
+// seeded jitter; false means the context ended first.
+func sleepBackoff(ctx context.Context, timer *time.Timer, base time.Duration, attempt int, jitter *rng.Source) bool {
+	d := base
+	for i := 0; i < attempt && d < 32*base; i++ {
+		d *= 2
+	}
+	if d > 32*base {
+		d = 32 * base
+	}
+	d = time.Duration(float64(d) * (0.5 + jitter.Float64()))
+	timer.Reset(d)
+	select {
+	case <-ctx.Done():
+		timeutil.StopTimer(timer)
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// runSlowLoris holds inj.Config().Loris.Conns raw TCP connections to the
+// base URL's host, each sending a valid request preamble and then
+// dribbling one header byte per Loris.Interval while the injector is
+// armed — the classic connection-exhaustion client. Connections redial
+// on error and are torn down when ctx ends; the dribbled bytes are
+// counted on the injector for reports.
+func runSlowLoris(ctx context.Context, wg *sync.WaitGroup, inj *chaos.Injector, base string) {
+	u, err := url.Parse(base)
+	if err != nil || u.Host == "" {
+		return
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	loris := inj.Config().Loris
+	for i := 0; i < loris.Conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(loris.Interval)
+			defer ticker.Stop()
+			var conn net.Conn
+			defer func() {
+				if conn != nil {
+					conn.Close()
+				}
+			}()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				if !inj.Armed() {
+					continue
+				}
+				if conn == nil {
+					var d net.Dialer
+					c, err := d.DialContext(ctx, "tcp", host)
+					if err != nil {
+						continue
+					}
+					conn = c
+					if _, err := fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: %s\r\nX-Loris: ", u.Hostname()); err != nil {
+						conn.Close()
+						conn = nil
+						continue
+					}
+				}
+				if _, err := conn.Write([]byte{'z'}); err != nil {
+					conn.Close()
+					conn = nil
+					continue
+				}
+				inj.CountLorisByte()
+			}
+		}()
 	}
 }
 

@@ -1,0 +1,215 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"psd/internal/chaos"
+)
+
+// okBody is a minimal valid work response; the fixed slowdown lets tests
+// assert that ONLY final successful attempts feed the statistics.
+const okSlowdown = 3.5
+
+func writeOK(w http.ResponseWriter) {
+	fmt.Fprintf(w, `{"class":0,"size":1,"delay_ms":1,"service_ms":1,"slowdown":%g}`, okSlowdown)
+}
+
+func runShort(t *testing.T, url string, retries int, timeout time.Duration) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      url,
+		Lambdas:      []float64{2}, // 2 per ms → ~600 arrivals
+		TimeUnit:     time.Millisecond,
+		Duration:     300 * time.Millisecond,
+		Drain:        time.Second,
+		MaxRetries:   retries,
+		RetryBackoff: time.Millisecond,
+		Timeout:      timeout,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRetryConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	base := Config{BaseURL: "http://x", Lambdas: []float64{1}, Duration: time.Second}
+	bad := base
+	bad.Timeout = -time.Second
+	if _, err := Run(ctx, bad); err == nil {
+		t.Error("accepted negative Timeout")
+	}
+	bad = base
+	bad.MaxRetries = -1
+	if _, err := Run(ctx, bad); err == nil {
+		t.Error("accepted negative MaxRetries")
+	}
+	bad = base
+	bad.RetryBackoff = -time.Millisecond
+	if _, err := Run(ctx, bad); err == nil {
+		t.Error("accepted negative RetryBackoff")
+	}
+}
+
+// TestRetryRecoversFlaky5xx: against a server that fails every other
+// attempt with a 503, retried arrivals must all eventually complete —
+// counted once each — with the retries in their own column and the
+// slowdown statistics fed only by the final successful attempts. A
+// single client worker serializes the attempts, making the alternation
+// deterministic per arrival: first attempt 503, retry 200.
+func TestRetryRecoversFlaky5xx(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1)%2 == 1 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		writeOK(w)
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL + "/",
+		Lambdas:      []float64{0.3},
+		TimeUnit:     time.Millisecond,
+		Duration:     400 * time.Millisecond,
+		Drain:        2 * time.Second,
+		Workers:      1,
+		MaxPending:   256,
+		MaxRetries:   1,
+		RetryBackoff: time.Millisecond,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Classes[0]
+	if c.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if c.Completed != c.Sent || c.Errors != 0 {
+		t.Fatalf("flaky server with retries: sent %d completed %d errors %d, want full completion",
+			c.Sent, c.Completed, c.Errors)
+	}
+	if c.Retries != c.Sent {
+		t.Fatalf("retries %d, want exactly one per arrival (%d sent)", c.Retries, c.Sent)
+	}
+	if math.Abs(c.MeanSlowdown-okSlowdown) > 1e-9 {
+		t.Fatalf("mean slowdown %v, want exactly %v — failed attempts leaked into the stats", c.MeanSlowdown, okSlowdown)
+	}
+}
+
+// TestRetriesExhaustedBecomeErrors: a hard-down server burns every retry
+// and the arrival lands in the error column, never the completed one.
+func TestRetriesExhaustedBecomeErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	rep := runShort(t, ts.URL+"/", 1, 0)
+	c := rep.Classes[0]
+	if c.Sent == 0 || c.Completed != 0 || c.Errors != c.Sent {
+		t.Fatalf("hard-down server: sent %d completed %d errors %d", c.Sent, c.Completed, c.Errors)
+	}
+	if c.Retries != c.Sent {
+		t.Fatalf("retries %d, want exactly one per arrival (%d)", c.Retries, c.Sent)
+	}
+}
+
+// TestNoRetryOnPermanentStatus: 4xx responses are the client's own fault
+// and must fail immediately without burning retry budget.
+func TestNoRetryOnPermanentStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	rep := runShort(t, ts.URL+"/", 3, 0)
+	c := rep.Classes[0]
+	if c.Retries != 0 {
+		t.Fatalf("4xx responses were retried %d times", c.Retries)
+	}
+	if c.Errors != c.Sent || c.Completed != 0 {
+		t.Fatalf("4xx accounting wrong: sent %d completed %d errors %d", c.Sent, c.Completed, c.Errors)
+	}
+}
+
+// TestPerAttemptTimeout: a hung server must cost each arrival at most
+// (retries+1)·timeout, not the server's response time — the run finishes
+// promptly with every arrival errored.
+func TestPerAttemptTimeout(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL + "/",
+		Lambdas:  []float64{0.5},
+		TimeUnit: time.Millisecond,
+		Duration: 200 * time.Millisecond,
+		Drain:    2 * time.Second,
+		Timeout:  50 * time.Millisecond,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("run blocked on the hung server for %v", elapsed)
+	}
+	c := rep.Classes[0]
+	if c.Sent == 0 || c.Completed != 0 || c.Errors != c.Sent {
+		t.Fatalf("hung server with timeout: sent %d completed %d errors %d", c.Sent, c.Completed, c.Errors)
+	}
+}
+
+// TestSlowLorisConnectionsDribble: with a chaos injector configured for
+// slow-loris connections, the run holds them open and dribbles counted
+// bytes while ordinary traffic proceeds.
+func TestSlowLorisConnectionsDribble(t *testing.T) {
+	inj, err := chaos.New(chaos.Config{
+		Seed:  1,
+		Loris: chaos.SlowLoris{Conns: 2, Interval: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeOK(w)
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL + "/",
+		Lambdas:  []float64{0.5},
+		TimeUnit: time.Millisecond,
+		Duration: 400 * time.Millisecond,
+		Drain:    200 * time.Millisecond,
+		Chaos:    inj,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Classes[0].Completed == 0 {
+		t.Fatal("loris connections starved ordinary traffic entirely")
+	}
+	if got := inj.Counts().LorisBytes; got < 2 {
+		t.Fatalf("LorisBytes = %d, want a dribble from 2 connections over 400ms", got)
+	}
+}

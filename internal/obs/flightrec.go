@@ -20,6 +20,13 @@ const (
 	// downstream as rate-floor clamps (simsrv MinRate, httpsrv pacing
 	// floor).
 	FlagNonPositiveRate
+	// FlagInputRejected marks a tick whose input carried NaN/Inf/negative
+	// counts, work, or slowdowns; the corrupt fields were discarded and
+	// the loop fell back to its last-good estimates.
+	FlagInputRejected
+	// FlagStaleTick marks a watchdog record: the reallocation loop missed
+	// its deadline and pacing is frozen at the last-good rates shown.
+	FlagStaleTick
 )
 
 // FlightRecorder is a fixed-size ring of control-plane tick records:
@@ -198,6 +205,7 @@ func (fr *FlightRecorder) ringIndex(k int) int {
 //
 //	{"classes":2,"capacity":256,"recorded":12,"dropped":0,"ticks":[
 //	  {"seq":0,"time":50,"alloc_failure":false,"rate_clamped":false,
+//	   "input_rejected":false,"stale_tick":false,
 //	   "lambda_hat":[...],"rates":[...],"slowdowns":[null,...],
 //	   "effective_deltas":[...]}]}
 //
@@ -223,8 +231,9 @@ func (fr *FlightRecorder) WriteJSON(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, `{"seq":%d,"time":`, t.Seq)
 		scratch = appendJSONFloat(scratch, bw, t.Time)
-		fmt.Fprintf(bw, `,"alloc_failure":%t,"rate_clamped":%t`,
-			t.Flags&FlagAllocFailure != 0, t.Flags&FlagNonPositiveRate != 0)
+		fmt.Fprintf(bw, `,"alloc_failure":%t,"rate_clamped":%t,"input_rejected":%t,"stale_tick":%t`,
+			t.Flags&FlagAllocFailure != 0, t.Flags&FlagNonPositiveRate != 0,
+			t.Flags&FlagInputRejected != 0, t.Flags&FlagStaleTick != 0)
 		writeJSONVec(bw, &scratch, `"lambda_hat"`, t.Lambdas)
 		writeJSONVec(bw, &scratch, `"rates"`, t.Rates)
 		writeJSONVec(bw, &scratch, `"slowdowns"`, t.Slowdowns)

@@ -106,16 +106,16 @@ func TestFlightRecorderRecordAllocationFree(t *testing.T) {
 func TestFlightRecorderWriteJSONGolden(t *testing.T) {
 	fr := rec2(t, 2, 2)
 	fr.Record(50, 0, []float64{1, 2}, []float64{0.75, 0.25}, nil, []float64{1, 2})
-	fr.Record(100, FlagAllocFailure, []float64{3, 4}, []float64{0.75, 0.25}, []float64{1.5, 3}, []float64{1, 2})
-	fr.Record(150, FlagNonPositiveRate, []float64{5, 6}, []float64{1, 0}, []float64{2, 4}, []float64{1, 2})
+	fr.Record(100, FlagAllocFailure|FlagInputRejected, []float64{3, 4}, []float64{0.75, 0.25}, []float64{1.5, 3}, []float64{1, 2})
+	fr.Record(150, FlagNonPositiveRate|FlagStaleTick, []float64{5, 6}, []float64{1, 0}, []float64{2, 4}, []float64{1, 2})
 	var sb strings.Builder
 	if err := fr.WriteJSON(&sb); err != nil {
 		t.Fatal(err)
 	}
 	want := `{"classes":2,"capacity":2,"recorded":3,"dropped":1,"ticks":[` +
-		`{"seq":1,"time":100,"alloc_failure":true,"rate_clamped":false,` +
+		`{"seq":1,"time":100,"alloc_failure":true,"rate_clamped":false,"input_rejected":true,"stale_tick":false,` +
 		`"lambda_hat":[3,4],"rates":[0.75,0.25],"slowdowns":[1.5,3],"effective_deltas":[1,2]},` +
-		`{"seq":2,"time":150,"alloc_failure":false,"rate_clamped":true,` +
+		`{"seq":2,"time":150,"alloc_failure":false,"rate_clamped":true,"input_rejected":false,"stale_tick":true,` +
 		`"lambda_hat":[5,6],"rates":[1,0],"slowdowns":[2,4],"effective_deltas":[1,2]}]}` + "\n"
 	if got := sb.String(); got != want {
 		t.Fatalf("dump mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
