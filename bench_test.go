@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"testing"
 
+	"psd/internal/analytic"
 	"psd/internal/core"
 	"psd/internal/dist"
 	"psd/internal/figures"
@@ -440,6 +441,45 @@ func BenchmarkFigureSweep(b *testing.B) {
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(reps)/secs, "reps/s")
 		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(reps), "allocs/rep")
+	}
+}
+
+// BenchmarkAnalyticSweep measures the closed-form fast path on the same
+// grid BenchmarkFigureSweep simulates: one warm Evaluator pass per grid
+// point. It reports points/s and hard-fails on any warm-path allocation —
+// the same 0 allocs/point promise cmd/psdbench gates in CI.
+func BenchmarkAnalyticSweep(b *testing.B) {
+	loads := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	cfgs := make([]simsrv.Config, len(loads))
+	for i, rho := range loads {
+		cfgs[i] = simsrv.EqualLoadConfig([]float64{1, 2}, rho, nil)
+	}
+	var ev analytic.Evaluator
+	var res analytic.Evaluation
+	if err := ev.EvaluateInto(&res, cfgs[0]); err != nil { // warm the arena
+		b.Fatal(err)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range cfgs {
+			if err := ev.EvaluateInto(&res, cfgs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	points := b.N * len(cfgs)
+	allocsPerPoint := float64(ms1.Mallocs-ms0.Mallocs) / float64(points)
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(points)/secs, "points/s")
+		b.ReportMetric(allocsPerPoint, "allocs/point")
+	}
+	if allocsPerPoint > 0.01 {
+		b.Fatalf("warm closed-form evaluation allocates %.4f times per point, want 0", allocsPerPoint)
 	}
 }
 

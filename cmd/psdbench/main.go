@@ -32,7 +32,12 @@
 // server's sharded front door in-process at GOMAXPROCS=1 and again at
 // GOMAXPROCS=min(NumCPU,8), gating 0.01 allocs/request under contention
 // plus a core-aware speedup floor (>= 0.5·P with 4+ cores, >= 1x on
-// 2-3 cores, skipped on a single core). The allocation gates are
+// 2-3 cores, skipped on a single core). The analytic-sweep scenario
+// (schema v5) evaluates the figure2-sweep grid through the closed-form
+// fast path (internal/analytic): a warm evaluation must stay under 0.01
+// allocs/point, and its points/s must beat the DES figure sweep's
+// replications/s by at least 100x — both machine-independent ratios, so
+// they gate exactly in -compare. The allocation gates are
 // machine-independent; the throughput comparison is only meaningful
 // against a baseline from comparable hardware, so CI pairs a generous
 // tolerance with the exact allocation gates.
@@ -43,10 +48,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"time"
 
+	"psd/internal/analytic"
 	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/dist"
@@ -60,6 +68,12 @@ const (
 	allocsPerEventGate = 0.01
 	allocsPerRepGate   = 25.0
 	allocsPerTickGate  = 0.01
+	allocsPerPointGate = 0.01
+	// analyticSpeedupFloor is the minimum points/s-over-reps/s ratio the
+	// closed-form path must keep over the DES sweep. Conservative by
+	// construction: it compares one analytic point against ONE DES
+	// replication, while a published figure point averages many.
+	analyticSpeedupFloor = 100.0
 )
 
 type scenarioResult struct {
@@ -93,6 +107,12 @@ type scenarioResult struct {
 	StormProcs       int     `json:"storm_procs,omitempty"`
 	StormCores       int     `json:"storm_cores,omitempty"`
 	AllocsPerReq     float64 `json:"allocs_per_req,omitempty"`
+	// Analytic-sweep metrics (analytic-sweep scenario only, schema v5):
+	// closed-form evaluations of the figure2-sweep grid. Speedup here is
+	// points/s over the figure2-sweep scenario's reps/s from the same run.
+	Points         int     `json:"points,omitempty"`
+	PointsPerSec   float64 `json:"points_per_sec,omitempty"`
+	AllocsPerPoint float64 `json:"allocs_per_point,omitempty"`
 }
 
 type report struct {
@@ -103,13 +123,17 @@ type report struct {
 	GOARCH      string `json:"goarch"`
 	// GOMAXPROCS and Commit stamp the run's provenance (schema v3): the
 	// parallelism the figure sweep ran at and the VCS revision the binary
-	// was built from ("unknown" outside a -buildvcs build).
+	// was built from (falling back to `git rev-parse HEAD`, since `go run`
+	// builds carry no VCS stamp; "unknown" only outside a work tree).
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Commit     string           `json:"commit"`
 	Scenarios  []scenarioResult `json:"scenarios"`
 }
 
-// buildCommit extracts the VCS revision baked into the binary.
+// buildCommit extracts the VCS revision baked into the binary, falling
+// back to asking git directly: `go run` and test binaries are built
+// without -buildvcs, which is how every committed baseline ended up
+// stamped "unknown".
 func buildCommit() string {
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {
@@ -119,6 +143,11 @@ func buildCommit() string {
 				}
 				break
 			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
 		}
 	}
 	return "unknown"
@@ -134,6 +163,7 @@ type scenario struct {
 	controlTick    bool
 	obsHotpath     bool
 	liveContention bool
+	analyticSweep  bool
 }
 
 func scenarios() []scenario {
@@ -144,6 +174,9 @@ func scenarios() []scenario {
 		{name: "2class-load0.6-packetized", deltas: []float64{1, 4}, load: 0.6, packetized: true},
 		{name: "2class-load0.6-trace", deltas: []float64{1, 2}, load: 0.6, trace: true},
 		{name: "figure2-sweep", deltas: []float64{1, 2}, figureSweep: true},
+		// analytic-sweep must come after figure2-sweep: its speedup is
+		// points/s over that scenario's freshly measured reps/s.
+		{name: "analytic-sweep", deltas: []float64{1, 2}, analyticSweep: true},
 		{name: "control-tick", deltas: []float64{1, 2, 3, 4, 6, 8, 12, 16}, controlTick: true},
 		{name: "obs-hotpath", deltas: []float64{1, 2, 3, 4, 6, 8, 12, 16}, obsHotpath: true},
 		{name: "live-contention", deltas: []float64{1, 2, 4, 8}, liveContention: true},
@@ -169,7 +202,7 @@ func main() {
 	})
 
 	rep := report{
-		Schema:      "psd-bench/v4",
+		Schema:      "psd-bench/v5",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -178,12 +211,15 @@ func main() {
 		Commit:      buildCommit(),
 	}
 	for _, sc := range scenarios() {
-		res, err := runScenario(sc, *runs, *warmup, *horizon, *seed)
+		res, err := runScenario(sc, *runs, *warmup, *horizon, *seed, rep.Scenarios)
 		if err != nil {
 			fatalf("%s: %v", sc.name, err)
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
-		if sc.liveContention {
+		if sc.analyticSweep {
+			fmt.Fprintf(os.Stderr, "%-28s %10d points  %8.3fs  %12.0f points/s  %7.0fx vs DES  %.4f allocs/point\n",
+				res.Name, res.Points, res.WallSeconds, res.PointsPerSec, res.Speedup, res.AllocsPerPoint)
+		} else if sc.liveContention {
 			fmt.Fprintf(os.Stderr, "%-28s %10d reqs    %8.3fs  %12.0f reqs/s    %5.2fx speedup @%dprocs/%dcores  %.4f allocs/req\n",
 				res.Name, res.Requests, res.WallSeconds, res.ReqsPerSec, res.Speedup, res.StormProcs, res.StormCores, res.AllocsPerReq)
 		} else if sc.obsHotpath {
@@ -270,6 +306,17 @@ func compareAgainst(path string, cur report, tol float64) []string {
 				failures = append(failures, fmt.Sprintf(
 					"%s: %.2f allocs/replication breaches the %.0f gate", s.Name, s.AllocsPerRep, allocsPerRepGate))
 			}
+		case "analytic-sweep":
+			if s.AllocsPerPoint > allocsPerPointGate {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.4f allocs/point breaches the %.2f gate (warm closed-form evaluation must not allocate)",
+					s.Name, s.AllocsPerPoint, allocsPerPointGate))
+			}
+			if s.Speedup > 0 && s.Speedup < analyticSpeedupFloor {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0fx speedup over the DES figure sweep, want >= %.0fx (the fast path stopped being fast)",
+					s.Name, s.Speedup, analyticSpeedupFloor))
+			}
 		case "control-tick":
 			if s.AllocsPerTick > allocsPerTickGate {
 				failures = append(failures, fmt.Sprintf(
@@ -326,6 +373,8 @@ func compareAgainst(path string, cur report, tol float64) []string {
 		switch s.Model {
 		case "figure-sweep":
 			check("reps/s", b.RepsPerSec, s.RepsPerSec)
+		case "analytic-sweep":
+			check("points/s", b.PointsPerSec, s.PointsPerSec)
 		case "control-tick", "obs-hotpath":
 			check("ticks/s", b.TicksPerSec, s.TicksPerSec)
 		case "live-contention":
@@ -349,9 +398,12 @@ func syntheticTrace(total float64) []simsrv.TraceRequest {
 	return trace
 }
 
-func runScenario(sc scenario, runs int, warmup, horizon float64, seed uint64) (scenarioResult, error) {
+func runScenario(sc scenario, runs int, warmup, horizon float64, seed uint64, prior []scenarioResult) (scenarioResult, error) {
 	if sc.figureSweep {
 		return runFigureSweep(sc, runs, seed)
+	}
+	if sc.analyticSweep {
+		return runAnalyticSweep(sc, runs, seed, prior)
 	}
 	if sc.controlTick {
 		return runControlTick(sc)
@@ -493,6 +545,89 @@ func runFigureSweep(sc scenario, runs int, seed uint64) (scenarioResult, error) 
 		RepsPerSec:   float64(reps) / wall,
 		AllocsPerRep: float64(ms1.Mallocs-ms0.Mallocs) / float64(reps),
 	}, nil
+}
+
+// runAnalyticSweep measures the closed-form fast path on the exact grid
+// runFigureSweep simulates: the Figure 2 load sweep. One untimed pass
+// goes through the sweep engine in Auto mode to prove the router really
+// collapses every grid point to zero DES events; the timed loop then
+// drives the analytic.Evaluator arena directly, many passes over the
+// grid, and reports points/s, allocs/point, and the speedup over the
+// figure2-sweep scenario's just-measured reps/s. That speedup divides
+// two numbers from the same process on the same grid, so it is
+// machine-independent and gates at analyticSpeedupFloor in -compare —
+// conservatively, since a published figure point costs `runs` DES
+// replications but exactly one closed-form evaluation.
+func runAnalyticSweep(sc scenario, runs int, seed uint64, prior []scenarioResult) (scenarioResult, error) {
+	const (
+		sweepWarmup  = 2000.0
+		sweepHorizon = 15000.0
+		gridPasses   = 40_000
+	)
+	loads := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	points := make([]sweep.Point, len(loads))
+	for i, rho := range loads {
+		cfg := simsrv.EqualLoadConfig(sc.deltas, rho, nil)
+		cfg.Warmup = sweepWarmup
+		cfg.Horizon = sweepHorizon
+		cfg.Seed = seed
+		points[i] = sweep.Point{Cfg: cfg, Runs: runs}
+	}
+
+	// Router proof: in Auto mode this grid must not simulate at all.
+	eng := sweep.Engine{Kind: sweep.Auto}
+	aggs, err := eng.Run(points)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	for i, agg := range aggs {
+		if agg.EventsProcessed != 0 {
+			return scenarioResult{}, fmt.Errorf(
+				"auto router simulated point %d (load %.1f): %d DES events on an analytic-eligible grid",
+				i, loads[i], agg.EventsProcessed)
+		}
+	}
+
+	var ev analytic.Evaluator
+	var res analytic.Evaluation
+	if err := ev.EvaluateInto(&res, points[0].Cfg); err != nil { // warm the arena
+		return scenarioResult{}, err
+	}
+	total := gridPasses * len(points)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for pass := 0; pass < gridPasses; pass++ {
+		for i := range points {
+			if err := ev.EvaluateInto(&res, points[i].Cfg); err != nil {
+				return scenarioResult{}, err
+			}
+		}
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+
+	out := scenarioResult{
+		Name:           sc.name,
+		Classes:        len(sc.deltas),
+		Model:          "analytic-sweep",
+		Runs:           runs,
+		Warmup:         sweepWarmup,
+		Horizon:        sweepHorizon,
+		WallSeconds:    wall,
+		Points:         total,
+		PointsPerSec:   float64(total) / wall,
+		AllocsPerPoint: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+	}
+	for _, p := range prior {
+		if p.Model == "figure-sweep" && p.RepsPerSec > 0 {
+			out.Speedup = out.PointsPerSec / p.RepsPerSec
+			break
+		}
+	}
+	return out, nil
 }
 
 // runControlTick measures the shared control plane in isolation: one

@@ -7,6 +7,7 @@
 //	psdfig -fig all -out results/     # every figure as CSV files
 //	psdfig -fig 9 -runs 100           # paper fidelity (slow)
 //	psdfig -fig 5 -quick              # reduced fidelity smoke run
+//	psdfig -fig 2 -engine auto        # closed forms where analytic: ms, not minutes
 //
 // Without -out, figures render as aligned text tables; with -out, each
 // figure is written to <out>/figureN.csv in long form (series,x,y).
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"psd/internal/figures"
+	"psd/internal/sweep"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "base random seed")
 		quick   = flag.Bool("quick", false, "reduced fidelity (10 runs, 15k tu)")
 		workers = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		engine  = flag.String("engine", "des", "point evaluation: des (simulate everything, the published behavior) | auto (closed forms where the steady state is analytic) | analytic (refuse to simulate)")
 		out     = flag.String("out", "", "output directory for CSV (default: tables to stdout)")
 	)
 	flag.Parse()
@@ -51,6 +54,11 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	kind, err := sweep.ParseEngineKind(*engine)
+	if err != nil {
+		fatalf("bad -engine: %v", err)
+	}
+	opts.Engine = kind
 
 	var ids []int
 	if *fig == "all" {

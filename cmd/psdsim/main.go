@@ -8,6 +8,7 @@
 //	psdsim -deltas 1,2,3 -load 0.8 -alpha 1.5 -upper 100 -runs 100
 //	psdsim -deltas 1,4 -load 0.6 -allocator pdd        # baseline ablation
 //	psdsim -deltas 1,2 -load 0.5 -work-conserving      # GPS-mode ablation
+//	psdsim -deltas 1,2 -load 0.5 -engine auto          # closed form, no DES
 //	psdsim -deltas 1,2 -load 0.5 -flightrec 64         # dump control ticks
 //
 // -flightrec N runs one extra dedicated replication (base seed) with a
@@ -47,6 +48,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "base random seed")
 		workers     = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		allocator   = flag.String("allocator", "psd", "psd | pdd | equal | demand")
+		engine      = flag.String("engine", "des", "des (simulate) | auto (closed form when the steady state is analytic) | analytic (refuse to simulate)")
 		estimator   = flag.String("estimator", "window", "load estimator: window (paper) | ewma")
 		ewmaAlpha   = flag.Float64("ewma-alpha", 0.3, "EWMA smoothing factor in (0,1]")
 		workConserv = flag.Bool("work-conserving", false, "redistribute idle class capacity (GPS ablation)")
@@ -73,11 +75,11 @@ func main() {
 	cfg.Seed = *seed
 	cfg.WorkConserving = *workConserv
 	cfg.Oracle = *oracle
-	kind, err := control.ParseEstimatorKind(*estimator)
+	estKind, err := control.ParseEstimatorKind(*estimator)
 	if err != nil {
 		fatalf("bad -estimator: %v", err)
 	}
-	cfg.Estimator = kind
+	cfg.Estimator = estKind
 	cfg.EWMAAlpha = *ewmaAlpha
 	if *loadStep > 0 {
 		cfg.LoadSchedule = simsrv.LoadStep(*warmup+*horizon/2, *loadStep)
@@ -95,17 +97,22 @@ func main() {
 		fatalf("unknown allocator %q", *allocator)
 	}
 
+	kind, err := sweep.ParseEngineKind(*engine)
+	if err != nil {
+		fatalf("bad -engine: %v", err)
+	}
+
 	start := time.Now()
-	eng := sweep.Engine{Workers: *workers}
+	eng := sweep.Engine{Workers: *workers, Kind: kind}
 	aggs, err := eng.Run([]sweep.Point{{Cfg: cfg, Runs: *runs}})
 	if err != nil {
-		fatalf("simulation failed: %v", err)
+		fatalf("evaluation failed: %v", err)
 	}
 	agg := aggs[0]
 	elapsed := time.Since(start)
 
-	fmt.Printf("PSD simulation — %d classes, load %.0f%%, %s allocator, %d runs × %g tu\n",
-		len(deltas), *load*100, cfg.Allocator.Name(), *runs, *horizon)
+	fmt.Printf("PSD %s evaluation — %d classes, load %.0f%%, %s allocator, %d runs × %g tu\n",
+		kind, len(deltas), *load*100, cfg.Allocator.Name(), *runs, *horizon)
 	fmt.Printf("service: %s (E[X]=%.4f, E[X²]=%.4f, E[1/X]=%.4f)\n\n",
 		svc, svc.Mean(), svc.SecondMoment(), svc.InverseMoment())
 	fmt.Printf("%-8s %-8s %-14s %-14s %-12s %-12s\n",
@@ -120,14 +127,22 @@ func main() {
 	}
 	fmt.Printf("\nsystem slowdown: %.4f (expected %.4f)\n",
 		agg.SystemSlowdown, simsrv.ExpectedSystemSlowdown(cfg, agg))
-	fmt.Printf("simulated %d events in %.2fs (%.2fM events/s aggregate)\n",
-		agg.EventsProcessed, elapsed.Seconds(),
-		float64(agg.EventsProcessed)/elapsed.Seconds()/1e6)
+	if agg.EventsProcessed > 0 {
+		fmt.Printf("simulated %d events in %.2fs (%.2fM events/s aggregate)\n",
+			agg.EventsProcessed, elapsed.Seconds(),
+			float64(agg.EventsProcessed)/elapsed.Seconds()/1e6)
+	} else {
+		fmt.Printf("closed-form evaluation in %s (0 DES events)\n", elapsed.Round(time.Microsecond))
+	}
 	if agg.AllocFailures > 0 {
 		fmt.Printf("allocator fallbacks (kept previous rates): %d windows\n", agg.AllocFailures)
 	}
+	// Per-window ratio percentiles only exist when windows were simulated.
 	for i := 1; i < len(deltas); i++ {
 		rs := agg.RatioSummaries[i]
+		if rs.N == 0 {
+			continue
+		}
 		fmt.Printf("class %d/1 per-window ratio: p05=%.3f p50=%.3f p95=%.3f (n=%d)\n",
 			i+1, rs.P05, rs.P50, rs.P95, rs.N)
 	}

@@ -62,11 +62,17 @@
 //	                   inputs, dropped/late ticks, clock jumps, slow-loris
 //	                   clients — per-site rng streams, nil-safe hooks,
 //	                   zero cost when absent
+//	internal/analytic  closed-form steady-state evaluator (Theorem 1 at
+//	                   the allocated rates): exact slowdowns/ratios for
+//	                   stationary fixed-rate points in ~100ns with zero
+//	                   allocations, ErrNeedsSimulation for everything else
 //	internal/simsrv    the paper's simulation model (Fig. 1) as a
 //	                   reusable arena: Simulator Reset/RunInto plus
 //	                   streaming replication aggregation
 //	internal/sweep     scenario-grid engine: (point, replication) task
-//	                   queue over a pool of per-worker arenas
+//	                   queue over a pool of per-worker arenas, with an
+//	                   Engine.Kind router (DES | Auto | Analytic) that
+//	                   sends analytic-eligible points to closed forms
 //	internal/obs       allocation-free observability: atomic metrics
 //	                   registry with log₂ histograms, Prometheus text
 //	                   exposition, control-plane flight recorder
@@ -103,9 +109,14 @@
 // path (metrics + flight recorder) at zero allocations, and a
 // live-contention scenario storming the live server's sharded front
 // door at GOMAXPROCS=1 vs min(NumCPU,8) with core-aware speedup and
-// 0.01 allocs/request gates — writes the committed BENCH_psd.json
-// baseline, and in -compare mode turns regressions into non-zero exits
-// (CI runs it).
+// 0.01 allocs/request gates, and an analytic-sweep scenario gating the
+// closed-form fast path (internal/analytic via the sweep router) at
+// >= 100x over the DES sweep and < 0.01 allocs/point — writes the
+// committed BENCH_psd.json baseline, and in -compare mode turns
+// regressions into non-zero exits (CI runs it).
+// For stationary fixed-rate points, EvaluateAnalytic (or -engine auto
+// on the CLIs) skips simulation entirely and returns the paper's
+// closed forms exactly.
 // Seeded replications are reproducible bit-for-bit across engine
 // versions and across arena reuse — the golden tests in internal/simsrv
 // pin exact trajectories.

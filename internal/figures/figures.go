@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 
+	"psd/internal/analytic"
 	"psd/internal/control"
 	"psd/internal/dist"
 	"psd/internal/simsrv"
@@ -48,6 +49,13 @@ type Options struct {
 	Loads []float64
 	// Workers sizes the sweep engine's worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Engine routes grid points between the DES and the closed-form
+	// evaluator (zero value: simulate everything, the published
+	// behavior). In sweep.Auto the steady-state mean figures (2–4, 9–12)
+	// collapse to exact closed-form points; the percentile figures (5–6),
+	// the per-request figures (7–8) and the transient figure (13) always
+	// simulate. sweep.Analytic errors on those simulation-only figures.
+	Engine sweep.EngineKind
 }
 
 // Defaults returns the paper-fidelity options.
@@ -105,13 +113,15 @@ func (o Options) config(deltas []float64, rho float64, svc dist.Distribution) si
 // runGrid executes one figure's whole scenario grid through the sweep
 // engine: every (config × Runs) replication shares one global task queue
 // over per-worker arenas, so a slow point never stalls the rest of the
-// figure. Aggregates return in cfgs order.
-func (o Options) runGrid(cfgs []simsrv.Config) ([]*simsrv.Aggregate, error) {
+// figure. Aggregates return in cfgs order. needWindowStats marks grids
+// whose consumer reads the per-window ratio percentiles, which only the
+// DES produces — those points simulate even under sweep.Auto.
+func (o Options) runGrid(cfgs []simsrv.Config, needWindowStats bool) ([]*simsrv.Aggregate, error) {
 	points := make([]sweep.Point, len(cfgs))
 	for i, cfg := range cfgs {
-		points[i] = sweep.Point{Cfg: cfg, Runs: o.Runs}
+		points[i] = sweep.Point{Cfg: cfg, Runs: o.Runs, NeedWindowStats: needWindowStats}
 	}
-	eng := sweep.Engine{Workers: o.Workers}
+	eng := sweep.Engine{Workers: o.Workers, Kind: o.Engine}
 	return eng.Run(points)
 }
 
@@ -136,7 +146,7 @@ func simVsExpected(id int, deltas []float64, opts Options) (Figure, error) {
 	for li, rho := range opts.Loads {
 		cfgs[li] = opts.config(deltas, rho, nil)
 	}
-	aggs, err := opts.runGrid(cfgs)
+	aggs, err := opts.runGrid(cfgs, false)
 	if err != nil {
 		return Figure{}, fmt.Errorf("figure %d: %w", id, err)
 	}
@@ -184,7 +194,7 @@ func Figure5(opts Options) (Figure, error) {
 			cfgs = append(cfgs, opts.config([]float64{1, d2}, rho, nil))
 		}
 	}
-	aggs, err := opts.runGrid(cfgs)
+	aggs, err := opts.runGrid(cfgs, true)
 	if err != nil {
 		return Figure{}, fmt.Errorf("figure 5: %w", err)
 	}
@@ -233,7 +243,7 @@ func Figure6(opts Options) (Figure, error) {
 	for li, rho := range opts.Loads {
 		cfgs[li] = opts.config([]float64{1, 2, 3}, rho, nil)
 	}
-	aggs, err := opts.runGrid(cfgs)
+	aggs, err := opts.runGrid(cfgs, true)
 	if err != nil {
 		return Figure{}, fmt.Errorf("figure 6: %w", err)
 	}
@@ -256,6 +266,9 @@ func Figure6(opts Options) (Figure, error) {
 // individual requests completing in [60000, 61000] at the given load.
 func individualRequests(id int, rho float64, opts Options) (Figure, error) {
 	opts = opts.withDefaults()
+	if opts.Engine == sweep.Analytic {
+		return Figure{}, fmt.Errorf("figure %d: %w: individual request trajectories only exist in a simulation", id, analytic.ErrNeedsSimulation)
+	}
 	cfg := opts.config([]float64{1, 2}, rho, nil)
 	// The record window sits at the paper's [60000, 61000] when the
 	// horizon allows; otherwise the last full window of the run.
@@ -317,7 +330,7 @@ func Figure9(opts Options) (Figure, error) {
 			cfgs = append(cfgs, opts.config([]float64{1, d2}, rho, nil))
 		}
 	}
-	aggs, err := opts.runGrid(cfgs)
+	aggs, err := opts.runGrid(cfgs, false)
 	if err != nil {
 		return Figure{}, fmt.Errorf("figure 9: %w", err)
 	}
@@ -347,7 +360,7 @@ func Figure10(opts Options) (Figure, error) {
 	for li, rho := range opts.Loads {
 		cfgs[li] = opts.config([]float64{1, 2, 3}, rho, nil)
 	}
-	aggs, err := opts.runGrid(cfgs)
+	aggs, err := opts.runGrid(cfgs, false)
 	if err != nil {
 		return Figure{}, fmt.Errorf("figure 10: %w", err)
 	}
@@ -387,7 +400,7 @@ func Figure11(opts Options) (Figure, error) {
 		}
 		cfgs[ai] = opts.config([]float64{1, 2}, 0.7, svc)
 	}
-	aggs, err := opts.runGrid(cfgs)
+	aggs, err := opts.runGrid(cfgs, false)
 	if err != nil {
 		return Figure{}, fmt.Errorf("figure 11: %w", err)
 	}
@@ -430,7 +443,7 @@ func Figure12(opts Options) (Figure, error) {
 		}
 		cfgs[pi] = opts.config([]float64{1, 2}, 0.7, svc)
 	}
-	aggs, err := opts.runGrid(cfgs)
+	aggs, err := opts.runGrid(cfgs, false)
 	if err != nil {
 		return Figure{}, fmt.Errorf("figure 12: %w", err)
 	}
@@ -474,7 +487,7 @@ func Figure13(opts Options) (Figure, error) {
 		{Cfg: win, Runs: opts.Runs, TrackWindowRatios: true},
 		{Cfg: ewma, Runs: opts.Runs, TrackWindowRatios: true},
 	}
-	eng := sweep.Engine{Workers: opts.Workers}
+	eng := sweep.Engine{Workers: opts.Workers, Kind: opts.Engine}
 	aggs, err := eng.Run(points)
 	if err != nil {
 		return Figure{}, fmt.Errorf("figure 13: %w", err)

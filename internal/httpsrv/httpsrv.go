@@ -116,6 +116,11 @@ type Config struct {
 	// FeedbackGain is the controller gain when Feedback is on
 	// (default 0.3).
 	FeedbackGain float64
+	// FeedbackMaxTrim bounds each effective δ within
+	// [target/MaxTrim, target·MaxTrim] (default 8). Tighter bounds keep
+	// a noisy measurement from dragging the controller far off target
+	// between windows.
+	FeedbackMaxTrim float64
 	// Estimator selects the control plane's load smoothing:
 	// control.Window (the paper's default) or control.EWMA.
 	Estimator control.EstimatorKind
@@ -394,16 +399,17 @@ func New(cfg Config) (*Server, error) {
 		s.admLocks = make([]paddedMutex, 1)
 	}
 	if err := s.loop.Reset(control.LoopConfig{
-		Deltas:         cfg.Deltas,
-		Window:         cfg.Window,
-		Estimator:      cfg.Estimator,
-		HistoryWindows: cfg.HistoryWindows,
-		EWMAAlpha:      cfg.EWMAAlpha,
-		Allocator:      allocator,
-		Workload:       w,
-		Feedback:       cfg.Feedback,
-		FeedbackGain:   cfg.FeedbackGain,
-		Recorder:       rec,
+		Deltas:          cfg.Deltas,
+		Window:          cfg.Window,
+		Estimator:       cfg.Estimator,
+		HistoryWindows:  cfg.HistoryWindows,
+		EWMAAlpha:       cfg.EWMAAlpha,
+		Allocator:       allocator,
+		Workload:        w,
+		Feedback:        cfg.Feedback,
+		FeedbackGain:    cfg.FeedbackGain,
+		FeedbackMaxTrim: cfg.FeedbackMaxTrim,
+		Recorder:        rec,
 	}); err != nil {
 		cancel()
 		return nil, err

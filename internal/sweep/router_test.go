@@ -1,0 +1,191 @@
+package sweep
+
+import (
+	"errors"
+	"testing"
+
+	"psd/internal/analytic"
+	"psd/internal/simsrv"
+)
+
+func TestParseEngineKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want EngineKind
+	}{
+		{"des", DES}, {"auto", Auto}, {"analytic", Analytic},
+	} {
+		got, err := ParseEngineKind(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseEngineKind(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseEngineKind("montecarlo"); err == nil {
+		t.Error("ParseEngineKind accepted an unknown kind")
+	}
+}
+
+// TestAutoMatchesClosedForm: an analytic-eligible grid under Auto must
+// produce the closed-form values exactly, as single exact "replications"
+// with zero DES events and zero-width confidence intervals — regardless
+// of the requested run count.
+func TestAutoMatchesClosedForm(t *testing.T) {
+	grid := []Point{
+		point([]float64{1, 2}, 0.3, 7),
+		point([]float64{1, 2, 4}, 0.6, 3),
+	}
+	e := Engine{Kind: Auto}
+	aggs, err := e.Run(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, agg := range aggs {
+		want, err := analytic.Evaluate(grid[pi].Cfg)
+		if err != nil {
+			t.Fatalf("point %d: %v", pi, err)
+		}
+		if agg.EventsProcessed != 0 {
+			t.Errorf("point %d: %d DES events on an analytic point", pi, agg.EventsProcessed)
+		}
+		if agg.Runs != 1 {
+			t.Errorf("point %d: Runs = %d, want 1 exact replication", pi, agg.Runs)
+		}
+		for i := range want.Slowdowns {
+			if agg.MeanSlowdowns[i] != want.Slowdowns[i] {
+				t.Errorf("point %d class %d: mean %v, want closed form %v",
+					pi, i, agg.MeanSlowdowns[i], want.Slowdowns[i])
+			}
+			if agg.ExpectedSlowdowns[i] != want.Slowdowns[i] {
+				t.Errorf("point %d class %d: expected %v, want %v",
+					pi, i, agg.ExpectedSlowdowns[i], want.Slowdowns[i])
+			}
+			if agg.CI95[i] != 0 {
+				t.Errorf("point %d class %d: CI95 %v, want 0", pi, i, agg.CI95[i])
+			}
+		}
+		if agg.SystemSlowdown != want.SystemSlowdown {
+			t.Errorf("point %d: system %v, want %v", pi, agg.SystemSlowdown, want.SystemSlowdown)
+		}
+	}
+}
+
+// TestAutoMixedGridRoutesPerPoint interleaves analytic-eligible points
+// with points the router must keep on the DES. Replication seeds derive
+// from each point's own config, not its grid position, so the simulated
+// points of the Auto run must be bit-identical to a pure-DES run of the
+// same grid.
+func TestAutoMixedGridRoutesPerPoint(t *testing.T) {
+	mk := func() []Point {
+		feedback := point([]float64{1, 2}, 0.5, 3)
+		feedback.Cfg.Feedback = true
+		windowStats := point([]float64{1, 4}, 0.6, 3)
+		windowStats.NeedWindowStats = true
+		return []Point{
+			point([]float64{1, 2}, 0.3, 3),    // analytic
+			feedback,                          // DES: closed loop
+			point([]float64{1, 2, 3}, 0.7, 3), // analytic
+			windowStats,                       // DES: needs window distribution
+		}
+	}
+	auto := Engine{Kind: Auto}
+	got, err := auto.Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(mk()) // pure DES
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyticIdx := map[int]bool{0: true, 2: true}
+	for pi := range got {
+		if analyticIdx[pi] {
+			if got[pi].EventsProcessed != 0 {
+				t.Errorf("point %d: simulated despite being analytic-eligible", pi)
+			}
+			continue
+		}
+		if got[pi].EventsProcessed != want[pi].EventsProcessed {
+			t.Errorf("point %d: events %d, want %d (DES routing disturbed the replications)",
+				pi, got[pi].EventsProcessed, want[pi].EventsProcessed)
+		}
+		for i := range want[pi].MeanSlowdowns {
+			if got[pi].MeanSlowdowns[i] != want[pi].MeanSlowdowns[i] {
+				t.Errorf("point %d class %d: %v, want bit-identical %v",
+					pi, i, got[pi].MeanSlowdowns[i], want[pi].MeanSlowdowns[i])
+			}
+		}
+		if got[pi].RatioSummaries[1] != want[pi].RatioSummaries[1] {
+			t.Errorf("point %d: ratio summary diverged from pure-DES run", pi)
+		}
+	}
+}
+
+// TestAnalyticKindRefusesSimulation: Kind Analytic must fail, wrapping
+// ErrNeedsSimulation, instead of quietly simulating.
+func TestAnalyticKindRefusesSimulation(t *testing.T) {
+	cases := map[string]func() Point{
+		"packetized": func() Point {
+			p := point([]float64{1, 2}, 0.5, 2)
+			p.Packetized = true
+			return p
+		},
+		"trace": func() Point {
+			p := point([]float64{1, 2}, 0.5, 1)
+			p.Trace = []simsrv.TraceRequest{{Time: 1, Class: 0, Size: 0.5}}
+			return p
+		},
+		"window-stats": func() Point {
+			p := point([]float64{1, 2}, 0.5, 2)
+			p.NeedWindowStats = true
+			return p
+		},
+		"feedback-config": func() Point {
+			p := point([]float64{1, 2}, 0.5, 2)
+			p.Cfg.Feedback = true
+			return p
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			e := Engine{Kind: Analytic}
+			if _, err := e.Run([]Point{mk()}); !errors.Is(err, analytic.ErrNeedsSimulation) {
+				t.Fatalf("want ErrNeedsSimulation, got %v", err)
+			}
+		})
+	}
+}
+
+// TestDESKindNeverConsultsAnalytic: the zero-value engine must keep
+// simulating even perfectly analytic-eligible points (bit-compat with
+// every existing call site is the router's first invariant).
+func TestDESKindNeverConsultsAnalytic(t *testing.T) {
+	p := point([]float64{1, 2}, 0.4, 2)
+	aggs, err := Run([]Point{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[0].EventsProcessed == 0 {
+		t.Fatal("DES engine produced zero events: point was routed analytically")
+	}
+	if aggs[0].Runs != p.Runs {
+		t.Fatalf("Runs = %d, want %d", aggs[0].Runs, p.Runs)
+	}
+}
+
+// TestAutoFallsBackOnIneligibleConfig: Auto must simulate (not fail)
+// when the closed forms cannot apply for Config-level reasons.
+func TestAutoFallsBackOnIneligibleConfig(t *testing.T) {
+	p := point([]float64{1, 2}, 0.4, 2)
+	p.Cfg.Feedback = true // steady state exists but is closed-loop
+	e := Engine{Kind: Auto}
+	aggs, err := e.Run([]Point{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[0].EventsProcessed == 0 {
+		t.Fatal("Auto engine did not fall back to the DES")
+	}
+}

@@ -27,16 +27,70 @@
 // (simsrv.ReplicationSeed), so a point's replication streams are
 // independent of its position in the grid and identical to what
 // simsrv.RunReplications would use.
+//
+// The engine also routes: in Auto (or Analytic) mode every steady-state
+// point whose closed form internal/analytic can evaluate skips the DES
+// entirely and collapses to a single exact "replication" — a synthesized
+// Aggregate whose means ARE the closed-form values, with zero-width
+// confidence intervals and zero events. Transient, packetized, trace,
+// window-statistics and moment-divergent points keep simulating; the
+// default DES kind (the zero value) never consults the analytic path at
+// all, so existing call sites stay bit-identical.
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
+	"psd/internal/analytic"
 	"psd/internal/rng"
 	"psd/internal/sched"
 	"psd/internal/simsrv"
+	"psd/internal/stats"
 )
+
+// EngineKind selects how the engine evaluates each point.
+type EngineKind int
+
+const (
+	// DES simulates every point (the zero value: existing call sites
+	// keep their bit-identical replication pipeline).
+	DES EngineKind = iota
+	// Auto evaluates analytic-eligible points from the closed forms and
+	// simulates the rest.
+	Auto
+	// Analytic refuses to simulate: any point needing the DES fails the
+	// sweep with an error wrapping analytic.ErrNeedsSimulation.
+	Analytic
+)
+
+// ParseEngineKind maps the CLI spellings (des | auto | analytic) to an
+// EngineKind.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "des":
+		return DES, nil
+	case "auto":
+		return Auto, nil
+	case "analytic":
+		return Analytic, nil
+	}
+	return DES, fmt.Errorf("sweep: unknown engine kind %q (want des, auto or analytic)", s)
+}
+
+// String implements fmt.Stringer.
+func (k EngineKind) String() string {
+	switch k {
+	case DES:
+		return "des"
+	case Auto:
+		return "auto"
+	case Analytic:
+		return "analytic"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
 
 // Point is one grid point: a scenario configuration plus how many
 // replications to average (the paper uses 100).
@@ -64,10 +118,35 @@ type Point struct {
 	// estimator-convergence figure. Costs O(classes × windows) memory per
 	// point.
 	TrackWindowRatios bool
+	// NeedWindowStats pins the point to the DES in Auto mode: its
+	// consumer reads the per-window ratio distribution
+	// (Aggregate.RatioSummaries percentiles), which only simulation
+	// produces — the closed forms predict means, not window-to-window
+	// variability. The percentile figures (5–6) set it.
+	NeedWindowStats bool
 }
 
-// Engine runs grids. The zero value uses GOMAXPROCS workers and streaming
-// (P²) ratio quantiles.
+// needsDES returns the reason this point cannot take the analytic path
+// regardless of its Config (model shape, not steady-state eligibility),
+// or "" if the Config decides.
+func (p *Point) needsDES() string {
+	switch {
+	case p.Packetized:
+		return "packetized server model"
+	case p.Trace != nil:
+		return "trace replay"
+	case p.NewScheduler != nil:
+		return "custom packet scheduler"
+	case p.TrackWindowRatios:
+		return "per-window ratio tracking"
+	case p.NeedWindowStats:
+		return "window-distribution statistics"
+	}
+	return ""
+}
+
+// Engine runs grids. The zero value uses GOMAXPROCS workers, streaming
+// (P²) ratio quantiles, and simulates every point.
 type Engine struct {
 	// Workers fixes the pool size; 0 means GOMAXPROCS.
 	Workers int
@@ -75,6 +154,9 @@ type Engine struct {
 	// batch path (buffer + sort) — the pre-streaming behavior, kept for
 	// golden comparisons and accuracy tests.
 	ExactQuantiles bool
+	// Kind routes points between the DES and the closed-form evaluator.
+	// The zero value (DES) simulates everything.
+	Kind EngineKind
 }
 
 // Run executes the grid on a default Engine.
@@ -89,6 +171,13 @@ func Run(points []Point) ([]*simsrv.Aggregate, error) {
 // replication of the point); an execution error (first in task order,
 // deterministically) aborts the sweep.
 //
+// In Auto and Analytic kinds, analytic-eligible points are solved inline
+// from the closed forms before the replication pipeline starts — they
+// contribute zero tasks, so a fully analytic grid never spins up a
+// worker. DES-routed points keep the exact task ordering, seeds and
+// reorder-buffer aggregation of a pure-DES sweep: routing a grid through
+// Auto leaves every simulated point bit-identical to Kind DES.
+//
 // NOTE: the jobs/out/recycle/reorder pipeline below is intentionally the
 // same shape as simsrv.RunReplications' single-point pipeline (which
 // cannot reuse this engine — sweep imports simsrv). When changing pool
@@ -100,6 +189,11 @@ func (e *Engine) Run(points []Point) ([]*simsrv.Aggregate, error) {
 	total := 0
 	offsets := make([]int, len(points))
 	aggs := make([]*simsrv.Aggregator, len(points))
+	var analyticAggs []*simsrv.Aggregate
+	var evaluator analytic.Evaluator
+	if e.Kind != DES {
+		analyticAggs = make([]*simsrv.Aggregate, len(points))
+	}
 	for i := range points {
 		p := &points[i]
 		if p.Runs < 1 {
@@ -110,6 +204,17 @@ func (e *Engine) Run(points []Point) ([]*simsrv.Aggregate, error) {
 			return nil, fmt.Errorf("sweep: point %d: %w", i, err)
 		}
 		offsets[i] = total
+		if analyticAggs != nil {
+			agg, err := e.evalPoint(&evaluator, p)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+			}
+			if agg != nil {
+				// Closed form: a zero-width entry in the task queue.
+				analyticAggs[i] = agg
+				continue
+			}
+		}
 		total += p.Runs
 		aggs[i] = simsrv.NewAggregator(p.Cfg)
 		if e.ExactQuantiles {
@@ -157,6 +262,10 @@ func (e *Engine) Run(points []Point) ([]*simsrv.Aggregate, error) {
 	finalize := func() ([]*simsrv.Aggregate, error) {
 		out := make([]*simsrv.Aggregate, len(points))
 		for i, a := range aggs {
+			if a == nil {
+				out[i] = analyticAggs[i]
+				continue
+			}
 			agg, err := a.Aggregate()
 			if err != nil {
 				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
@@ -164,6 +273,11 @@ func (e *Engine) Run(points []Point) ([]*simsrv.Aggregate, error) {
 			out[i] = agg
 		}
 		return out, nil
+	}
+
+	if total == 0 {
+		// Every point solved in closed form: nothing to simulate.
+		return finalize()
 	}
 
 	if workers == 1 {
@@ -243,4 +357,49 @@ func (e *Engine) Run(points []Point) ([]*simsrv.Aggregate, error) {
 		return nil, firstErr
 	}
 	return finalize()
+}
+
+// evalPoint routes one point: a synthesized Aggregate when the closed
+// forms apply, (nil, nil) to fall back to the DES in Auto mode, or an
+// error (always in Analytic mode, where simulation is refused).
+func (e *Engine) evalPoint(ev *analytic.Evaluator, p *Point) (*simsrv.Aggregate, error) {
+	if reason := p.needsDES(); reason != "" {
+		if e.Kind == Analytic {
+			return nil, fmt.Errorf("%w: %s", analytic.ErrNeedsSimulation, reason)
+		}
+		return nil, nil
+	}
+	var res analytic.Evaluation
+	if err := ev.EvaluateInto(&res, p.Cfg); err != nil {
+		if e.Kind == Auto && errors.Is(err, analytic.ErrNeedsSimulation) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return analyticAggregate(&res), nil
+}
+
+// analyticAggregate shapes a closed-form Evaluation as the Aggregate of
+// a single exact "replication": the means ARE the stationary values,
+// the confidence intervals are zero-width, the per-window ratio
+// summaries stay empty (no windows were simulated) and no DES events
+// were processed — which is also how callers can tell an analytic point
+// from a simulated one.
+func analyticAggregate(ev *analytic.Evaluation) *simsrv.Aggregate {
+	nc := len(ev.Slowdowns)
+	agg := &simsrv.Aggregate{
+		Runs:              1,
+		MeanSlowdowns:     make([]float64, nc),
+		CI95:              make([]float64, nc),
+		ExpectedSlowdowns: make([]float64, nc),
+		RatioSummaries:    make([]stats.Summary, nc),
+		MeanRatios:        make([]float64, nc),
+		SystemSlowdown:    ev.SystemSlowdown,
+	}
+	copy(agg.MeanSlowdowns, ev.Slowdowns)
+	copy(agg.ExpectedSlowdowns, ev.Slowdowns)
+	for i := 1; i < nc; i++ {
+		agg.MeanRatios[i] = ev.Ratios[i]
+	}
+	return agg
 }

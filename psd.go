@@ -1,6 +1,7 @@
 package psd
 
 import (
+	"psd/internal/analytic"
 	"psd/internal/control"
 	"psd/internal/core"
 	"psd/internal/dist"
@@ -41,6 +42,12 @@ type (
 	SweepPoint = sweep.Point
 	// SweepEngine runs scenario grids over a pool of reusable arenas.
 	SweepEngine = sweep.Engine
+	// SweepEngineKind routes points: simulate, closed forms where
+	// analytic, or closed forms only.
+	SweepEngineKind = sweep.EngineKind
+	// AnalyticEvaluation is one point's closed-form result (Theorem 1 /
+	// Eq. 18 at the stationary allocation).
+	AnalyticEvaluation = analytic.Evaluation
 	// ControlLoop is the shared estimate→control→allocate plane driven by
 	// both the simulator and the live HTTP server.
 	ControlLoop = control.Loop
@@ -59,6 +66,31 @@ const (
 	// EWMAEstimation reacts faster after load shifts at equal noise.
 	EWMAEstimation = control.EWMA
 )
+
+// Sweep engine kinds for SweepEngine.Kind.
+const (
+	// EngineDES simulates every point (the default; bit-identical to the
+	// pre-router engine).
+	EngineDES = sweep.DES
+	// EngineAuto evaluates analytic steady states in closed form and
+	// simulates the rest.
+	EngineAuto = sweep.Auto
+	// EngineAnalytic refuses to simulate: non-analytic points error with
+	// ErrNeedsSimulation.
+	EngineAnalytic = sweep.Analytic
+)
+
+// ErrNeedsSimulation marks a configuration the closed forms cannot
+// evaluate (transient, packetized, trace-driven, closed-loop, or with
+// divergent moments). Test with errors.Is.
+var ErrNeedsSimulation = analytic.ErrNeedsSimulation
+
+// EvaluateAnalytic computes a configuration's stationary slowdowns,
+// rates and achieved ratios directly from the paper's closed forms —
+// the 100–1000× fast path behind SweepEngine's Auto/Analytic kinds.
+func EvaluateAnalytic(cfg SimConfig) (*AnalyticEvaluation, error) {
+	return analytic.Evaluate(cfg)
+}
 
 // LoadStep builds a SimConfig.LoadSchedule with one global rate step at
 // time at (absolute simulation time, warmup included).
