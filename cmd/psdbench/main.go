@@ -37,7 +37,12 @@
 // fast path (internal/analytic): a warm evaluation must stay under 0.01
 // allocs/point, and its points/s must beat the DES figure sweep's
 // replications/s by at least 100x — both machine-independent ratios, so
-// they gate exactly in -compare. The allocation gates are
+// they gate exactly in -compare. The policy-tournament scenario (schema
+// v6) runs every policy in the core registry — fluid policies through
+// one retained Simulator arena each, size-aware policies through the
+// packetized model with a retained scheduler — and gates 0.01
+// allocs/replication: registering a policy whose reset or steady state
+// allocates fails CI. The allocation gates are
 // machine-independent; the throughput comparison is only meaningful
 // against a baseline from comparable hardware, so CI pairs a generous
 // tolerance with the exact allocation gates.
@@ -59,6 +64,8 @@ import (
 	"psd/internal/core"
 	"psd/internal/dist"
 	"psd/internal/obs"
+	"psd/internal/rng"
+	"psd/internal/sched"
 	"psd/internal/simsrv"
 	"psd/internal/sweep"
 )
@@ -69,6 +76,12 @@ const (
 	allocsPerRepGate   = 25.0
 	allocsPerTickGate  = 0.01
 	allocsPerPointGate = 0.01
+	// allocsPerTournamentRepGate is far stricter than the figure-sweep
+	// gate: the tournament drives each policy's Simulator arena directly
+	// (no sweep engine, no aggregation), so a warm replication of ANY
+	// registered policy — ladder and retained scheduler included — must
+	// not allocate.
+	allocsPerTournamentRepGate = 0.01
 	// analyticSpeedupFloor is the minimum points/s-over-reps/s ratio the
 	// closed-form path must keep over the DES sweep. Conservative by
 	// construction: it compares one analytic point against ONE DES
@@ -113,6 +126,10 @@ type scenarioResult struct {
 	Points         int     `json:"points,omitempty"`
 	PointsPerSec   float64 `json:"points_per_sec,omitempty"`
 	AllocsPerPoint float64 `json:"allocs_per_point,omitempty"`
+	// Policy-tournament metrics (policy-tournament scenario only, schema
+	// v6): how many registry policies competed; throughput reuses the
+	// replication fields above.
+	Policies int `json:"policies,omitempty"`
 }
 
 type report struct {
@@ -154,16 +171,17 @@ func buildCommit() string {
 }
 
 type scenario struct {
-	name           string
-	deltas         []float64
-	load           float64
-	packetized     bool
-	trace          bool
-	figureSweep    bool
-	controlTick    bool
-	obsHotpath     bool
-	liveContention bool
-	analyticSweep  bool
+	name             string
+	deltas           []float64
+	load             float64
+	packetized       bool
+	trace            bool
+	figureSweep      bool
+	controlTick      bool
+	obsHotpath       bool
+	liveContention   bool
+	analyticSweep    bool
+	policyTournament bool
 }
 
 func scenarios() []scenario {
@@ -177,6 +195,7 @@ func scenarios() []scenario {
 		// analytic-sweep must come after figure2-sweep: its speedup is
 		// points/s over that scenario's freshly measured reps/s.
 		{name: "analytic-sweep", deltas: []float64{1, 2}, analyticSweep: true},
+		{name: "policy-tournament", deltas: []float64{1, 2, 4}, load: 0.7, policyTournament: true},
 		{name: "control-tick", deltas: []float64{1, 2, 3, 4, 6, 8, 12, 16}, controlTick: true},
 		{name: "obs-hotpath", deltas: []float64{1, 2, 3, 4, 6, 8, 12, 16}, obsHotpath: true},
 		{name: "live-contention", deltas: []float64{1, 2, 4, 8}, liveContention: true},
@@ -202,7 +221,7 @@ func main() {
 	})
 
 	rep := report{
-		Schema:      "psd-bench/v5",
+		Schema:      "psd-bench/v6",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -231,6 +250,9 @@ func main() {
 		} else if sc.figureSweep {
 			fmt.Fprintf(os.Stderr, "%-28s %10d events  %8.3fs  %12.0f events/s  %6.1f reps/s  %.2f allocs/rep\n",
 				res.Name, res.Events, res.WallSeconds, res.EventsPerSec, res.RepsPerSec, res.AllocsPerRep)
+		} else if sc.policyTournament {
+			fmt.Fprintf(os.Stderr, "%-28s %10d events  %8.3fs  %12.0f events/s  %6.1f reps/s  %2d policies  %.4f allocs/rep\n",
+				res.Name, res.Events, res.WallSeconds, res.EventsPerSec, res.RepsPerSec, res.Policies, res.AllocsPerRep)
 		} else {
 			fmt.Fprintf(os.Stderr, "%-28s %10d events  %8.3fs  %12.0f events/s  %6.1f ns/event  %.4f allocs/event\n",
 				res.Name, res.Events, res.WallSeconds, res.EventsPerSec, res.NsPerEvent, res.AllocsPerEvent)
@@ -317,6 +339,12 @@ func compareAgainst(path string, cur report, tol float64) []string {
 					"%s: %.0fx speedup over the DES figure sweep, want >= %.0fx (the fast path stopped being fast)",
 					s.Name, s.Speedup, analyticSpeedupFloor))
 			}
+		case "policy-tournament":
+			if s.AllocsPerRep > allocsPerTournamentRepGate {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.4f allocs/replication breaches the %.2f gate (a registered policy allocates on the warm arena path)",
+					s.Name, s.AllocsPerRep, allocsPerTournamentRepGate))
+			}
 		case "control-tick":
 			if s.AllocsPerTick > allocsPerTickGate {
 				failures = append(failures, fmt.Sprintf(
@@ -371,7 +399,7 @@ func compareAgainst(path string, cur report, tol float64) []string {
 		}
 		check("events/s", b.EventsPerSec, s.EventsPerSec)
 		switch s.Model {
-		case "figure-sweep":
+		case "figure-sweep", "policy-tournament":
 			check("reps/s", b.RepsPerSec, s.RepsPerSec)
 		case "analytic-sweep":
 			check("points/s", b.PointsPerSec, s.PointsPerSec)
@@ -413,6 +441,9 @@ func runScenario(sc scenario, runs int, warmup, horizon float64, seed uint64, pr
 	}
 	if sc.liveContention {
 		return runLiveContention(sc)
+	}
+	if sc.policyTournament {
+		return runPolicyTournament(sc, runs, seed)
 	}
 	cfg := simsrv.EqualLoadConfig(sc.deltas, sc.load, nil)
 	cfg.Warmup = warmup
@@ -628,6 +659,128 @@ func runAnalyticSweep(sc scenario, runs int, seed uint64, prior []scenarioResult
 		}
 	}
 	return out, nil
+}
+
+// runPolicyTournament runs every policy in the core registry head-to-head
+// over one mid-load grid point, driving each policy's retained Simulator
+// arena directly — no sweep engine, no aggregation — so the measurement
+// isolates exactly what registering a policy adds to the hot path. Fluid
+// policies replicate through Simulator.Reset; size-aware policies
+// (Caps.NeedsSizeInfo) go through the packetized model with a retained
+// heSRPT scheduler, mirroring internal/sweep's policy→discipline mapping.
+// The downgrading policy's degradation ladder and the heSRPT slot arena
+// are both created during the untimed warmup replication and retained, so
+// the timed loop gates the whole zoo at allocsPerTournamentRepGate: a new
+// policy whose reset or steady state allocates is rejected in -compare.
+func runPolicyTournament(sc scenario, runs int, seed uint64) (scenarioResult, error) {
+	const (
+		tourWarmup  = 2000.0
+		tourHorizon = 10000.0
+	)
+	type lane struct {
+		packetized bool
+		cfg        simsrv.Config
+		pcfg       simsrv.PacketizedConfig
+		sim        *simsrv.Simulator
+	}
+	names := core.Names()
+	lanes := make([]lane, 0, len(names))
+	for _, name := range names {
+		alloc, err := core.Parse(name)
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		pol, ok := core.Lookup(name)
+		if !ok {
+			return scenarioResult{}, fmt.Errorf("policy %q in Names() but not in Lookup()", name)
+		}
+		cfg := simsrv.EqualLoadConfig(sc.deltas, sc.load, nil)
+		cfg.Warmup = tourWarmup
+		cfg.Horizon = tourHorizon
+		cfg.Allocator = alloc
+		ln := lane{cfg: cfg, sim: new(simsrv.Simulator)}
+		if pol.Caps.NeedsSizeInfo {
+			ln.packetized = true
+			var hs *sched.HeSRPT // retained across resets; closure lives outside the timed loop
+			ln.pcfg = simsrv.PacketizedConfig{
+				Config: cfg,
+				NewScheduler: func(classes int, _ *rng.Source) sched.Scheduler {
+					if hs == nil {
+						hs = sched.NewHeSRPT(classes)
+					} else {
+						hs.Reset()
+					}
+					return hs
+				},
+			}
+		}
+		lanes = append(lanes, ln)
+	}
+
+	var res simsrv.Result
+	run := func(ln *lane, s uint64) (uint64, error) {
+		var err error
+		if ln.packetized {
+			err = ln.sim.ResetPacketized(ln.pcfg, s)
+		} else {
+			err = ln.sim.Reset(ln.cfg, s)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if err := ln.sim.RunInto(&res); err != nil {
+			return 0, err
+		}
+		return res.EventsProcessed, nil
+	}
+
+	// One untimed pass per lane over the exact seed range the timed loop
+	// replays: arena growth to each seed's backlog high-water mark, the
+	// downgrading policy's ladder, and the heSRPT scheduler all
+	// materialize here, so the timed loop measures only the warm path.
+	for i := range lanes {
+		for r := 0; r < runs; r++ {
+			if _, err := run(&lanes[i], seed+uint64(r)); err != nil {
+				return scenarioResult{}, fmt.Errorf("%s: %w", names[i], err)
+			}
+		}
+	}
+
+	reps := len(lanes) * runs
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	var events uint64
+	start := time.Now()
+	for i := range lanes {
+		for r := 0; r < runs; r++ {
+			n, err := run(&lanes[i], seed+uint64(r))
+			if err != nil {
+				return scenarioResult{}, fmt.Errorf("%s: %w", names[i], err)
+			}
+			events += n
+		}
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms1)
+
+	return scenarioResult{
+		Name:         sc.name,
+		Classes:      len(sc.deltas),
+		Load:         sc.load,
+		Model:        "policy-tournament",
+		Runs:         runs,
+		Warmup:       tourWarmup,
+		Horizon:      tourHorizon,
+		Events:       events,
+		WallSeconds:  wall,
+		EventsPerSec: float64(events) / wall,
+		NsPerEvent:   wall * 1e9 / float64(events),
+		Replications: reps,
+		RepsPerSec:   float64(reps) / wall,
+		AllocsPerRep: float64(ms1.Mallocs-ms0.Mallocs) / float64(reps),
+		Policies:     len(lanes),
+	}, nil
 }
 
 // runControlTick measures the shared control plane in isolation: one

@@ -1,5 +1,6 @@
 // Command psdfig regenerates the paper's evaluation figures (2–12) plus
-// the beyond-paper estimator-transient study (13).
+// the beyond-paper estimator-transient study (13) and the policy
+// tournament (14).
 //
 // Usage:
 //
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure id 2-13 or 'all'")
+		fig     = flag.String("fig", "all", "figure id 2-14 or 'all'")
 		runs    = flag.Int("runs", 0, "replications per point (0 = fidelity default)")
 		horizon = flag.Float64("horizon", 0, "measured tu per run (0 = fidelity default)")
 		warmup  = flag.Float64("warmup", 0, "warmup tu (0 = fidelity default)")
@@ -62,7 +63,7 @@ func main() {
 
 	var ids []int
 	if *fig == "all" {
-		for id := 2; id <= 13; id++ {
+		for id := 2; id <= 14; id++ {
 			ids = append(ids, id)
 		}
 	} else {

@@ -42,6 +42,7 @@ import (
 	"psd/internal/admission"
 	"psd/internal/chaos"
 	"psd/internal/control"
+	"psd/internal/core"
 	"psd/internal/dist"
 	"psd/internal/httpsrv"
 )
@@ -55,6 +56,7 @@ func main() {
 		alpha     = flag.Float64("alpha", 1.5, "Bounded Pareto shape for undeclared sizes")
 		lower     = flag.Float64("lower", 0.1, "Bounded Pareto lower bound")
 		upper     = flag.Float64("upper", 100, "Bounded Pareto upper bound")
+		allocator = flag.String("allocator", "psd", "rate-allocation policy from the core registry: "+strings.Join(core.Names(), " | "))
 		feedback  = flag.Bool("feedback", false, "enable the slowdown-ratio feedback controller")
 		estimator = flag.String("estimator", "window", "load estimator: window (paper) | ewma")
 		ewmaAlpha = flag.Float64("ewma-alpha", 0.3, "EWMA smoothing factor in (0,1] (with -estimator ewma)")
@@ -96,6 +98,13 @@ func main() {
 	if err != nil {
 		fatalf("bad -estimator: %v", err)
 	}
+	alloc, err := core.Parse(*allocator)
+	if err != nil {
+		fatalf("bad -allocator: %v", err)
+	}
+	if pol, _ := core.Lookup(*allocator); pol.Caps.NeedsSizeInfo {
+		fatalf("policy %q needs per-job size information and requires the packetized simulator (psdsim -allocator %s); the live server paces partitioned task servers", *allocator, *allocator)
+	}
 	gate, err := buildAdmission(*admPolicy, *admBound, *admTau, *window, *admRates, *admBurst, len(ds))
 	if err != nil {
 		fatalf("bad admission flags: %v", err)
@@ -134,6 +143,7 @@ func main() {
 	srv, err := httpsrv.New(httpsrv.Config{
 		Deltas:             ds,
 		Service:            svc,
+		Allocator:          alloc,
 		TimeUnit:           *timeUnit,
 		Window:             *window,
 		WorkersPerClass:    *workers,
@@ -165,8 +175,8 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), workers/class=%d, estimator=%s, feedback=%v, admission=%s, pprof=%v",
-		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), *workers, kind, *feedback, *admPolicy, *pprofOn)
+	log.Printf("psdserver listening on %s — %d classes, deltas %v, window %g tu (%v), workers/class=%d, allocator=%s, estimator=%s, feedback=%v, admission=%s, pprof=%v",
+		*addr, len(ds), ds, *window, time.Duration(*window*float64(*timeUnit)), *workers, alloc.Name(), kind, *feedback, *admPolicy, *pprofOn)
 	log.Printf("work endpoint: GET /?class=N&size=X   metrics: GET /metrics (JSON), /metrics/prom (Prometheus), /debug/control (flight recorder)")
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fatalf("%v", err)

@@ -47,7 +47,7 @@ func main() {
 		history     = flag.Int("history", 5, "estimator history windows")
 		seed        = flag.Uint64("seed", 1, "base random seed")
 		workers     = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
-		allocator   = flag.String("allocator", "psd", "psd | pdd | equal | demand")
+		allocator   = flag.String("allocator", "psd", "policy from the core registry: "+strings.Join(core.Names(), " | "))
 		engine      = flag.String("engine", "des", "des (simulate) | auto (closed form when the steady state is analytic) | analytic (refuse to simulate)")
 		estimator   = flag.String("estimator", "window", "load estimator: window (paper) | ewma")
 		ewmaAlpha   = flag.Float64("ewma-alpha", 0.3, "EWMA smoothing factor in (0,1]")
@@ -84,18 +84,14 @@ func main() {
 	if *loadStep > 0 {
 		cfg.LoadSchedule = simsrv.LoadStep(*warmup+*horizon/2, *loadStep)
 	}
-	switch *allocator {
-	case "psd":
-		cfg.Allocator = core.PSD{}
-	case "pdd":
-		cfg.Allocator = core.PDD{}
-	case "equal":
-		cfg.Allocator = core.EqualShare{}
-	case "demand":
-		cfg.Allocator = core.DemandProportional{}
-	default:
-		fatalf("unknown allocator %q", *allocator)
+	// The registry resolves the allocator for the summary/flight-record
+	// paths; the sweep point carries the policy name so size-aware
+	// policies (hesrpt) transparently switch to the packetized model.
+	alloc, err := core.Parse(*allocator)
+	if err != nil {
+		fatalf("bad -allocator: %v", err)
 	}
+	cfg.Allocator = alloc
 
 	kind, err := sweep.ParseEngineKind(*engine)
 	if err != nil {
@@ -104,7 +100,7 @@ func main() {
 
 	start := time.Now()
 	eng := sweep.Engine{Workers: *workers, Kind: kind}
-	aggs, err := eng.Run([]sweep.Point{{Cfg: cfg, Runs: *runs}})
+	aggs, err := eng.Run([]sweep.Point{{Cfg: cfg, Runs: *runs, Policy: *allocator}})
 	if err != nil {
 		fatalf("evaluation failed: %v", err)
 	}

@@ -37,7 +37,13 @@
 //
 // This root package is a thin facade over the implementation packages:
 //
-//	internal/core      Eq. 17 allocator + baselines (the contribution)
+//	internal/core      Eq. 17 allocator (the contribution) + the policy
+//	                   zoo: a registry (Register/Parse/Names) of rival
+//	                   allocation policies — baselines, the logarithmic-
+//	                   weight allocator, the degradation-aware downgrading
+//	                   allocator, heSRPT weights — with per-policy
+//	                   capability flags (analytic-eligible, needs-size-
+//	                   info, degradation-aware)
 //	internal/queueing  Lemma 1/2, Theorem 1, Eq. 15 closed forms
 //	internal/dist      job-size laws (Bounded Pareto & friends) with
 //	                   closed-form E[X], E[X²], E[1/X] and seeded samplers
@@ -46,7 +52,8 @@
 //	                   heap, generation-checked EventID handles, typed
 //	                   (Handler, kind, data) dispatch
 //	internal/stats     streaming moments, histograms, P² quantiles
-//	internal/sched     GPS/WFQ/DRR/WRR/Lottery substrate
+//	internal/sched     GPS/WFQ/DRR/WRR/Lottery substrate + the size-aware
+//	                   heSRPT (weighted shortest-job-first) discipline
 //	internal/control   the shared control plane: one allocation-free
 //	                   estimate→control→allocate Loop (window | EWMA
 //	                   estimation, optional feedback trim) driven by both
@@ -72,7 +79,9 @@
 //	internal/sweep     scenario-grid engine: (point, replication) task
 //	                   queue over a pool of per-worker arenas, with an
 //	                   Engine.Kind router (DES | Auto | Analytic) that
-//	                   sends analytic-eligible points to closed forms
+//	                   sends analytic-eligible points to closed forms,
+//	                   plus the policy axis (Point.Policy, Tournament)
+//	                   that races registered policies over one grid
 //	internal/obs       allocation-free observability: atomic metrics
 //	                   registry with log₂ histograms, Prometheus text
 //	                   exposition, control-plane flight recorder
@@ -87,7 +96,9 @@
 //	                   pluggable admission gate, overload-honest estimation,
 //	                   guarded control inputs, stale-tick watchdog, and the
 //	                   degrade-before-shed ladder
-//	internal/figures   Figures 2–12 regeneration (on internal/sweep)
+//	internal/figures   Figures 2–12 regeneration (on internal/sweep) plus
+//	                   the beyond-paper estimator transient (13) and
+//	                   policy tournament (14) studies
 //
 // Start with AllocateRates for the analytic strategy, Simulate for the
 // paper's experiment rig, or internal/httpsrv for a live server. The

@@ -208,19 +208,19 @@ func ineligible(cfg simsrv.Config) string {
 }
 
 // supportedAllocator reports whether the allocator's stationary
-// allocation at the true arrival rates is one the closed forms cover:
-// PSD (Eq. 17), the analytic baselines, and MinRate wrapping any of
-// those (MinRate is a deterministic post-pass over its base). PDD's
-// bisection targets delays, Static ignores demand, and custom allocators
-// are unknown — all simulate.
+// allocation at the true arrival rates is one the closed forms cover —
+// the registry's AnalyticEligible capability, with MinRate unwrapped
+// first (MinRate is a deterministic post-pass over its base). The check
+// keys off the policy name, so Static (never registered), PDD/PacketizedPSD
+// (registered without the capability) and custom allocators (unknown
+// names) all simulate; a custom policy becomes eligible by registering
+// its own core.Policy with the flag set.
 func supportedAllocator(a core.Allocator) bool {
-	switch al := a.(type) {
-	case core.PSD, core.EqualShare, core.DemandProportional:
-		return true
-	case core.MinRate:
-		return supportedAllocator(al.Base)
+	if mr, ok := a.(core.MinRate); ok {
+		return supportedAllocator(mr.Base)
 	}
-	return false
+	p, ok := core.Lookup(a.Name())
+	return ok && p.Caps.AnalyticEligible
 }
 
 func resizeFloats(s []float64, n int) []float64 {

@@ -124,12 +124,39 @@ func TestAnalyticAllocatorsWithinDESConfidence(t *testing.T) {
 		core.PSD{},
 		core.EqualShare{},
 		core.DemandProportional{},
+		core.LogWeight{},
 		core.MinRate{Base: core.PSD{}, Min: 0.3},
 	}
 	for _, al := range allocs {
 		t.Run(al.Name(), func(t *testing.T) {
 			cfg := oracleConfig([]float64{1, 8}, 0.4, nil)
 			cfg.Allocator = al
+			checkAgainstDES(t, cfg, 10, 0.03)
+		})
+	}
+}
+
+// TestLogWeightWithinDESConfidence cross-validates the logarithmic-weight
+// allocator's closed-form prediction against oracle-mode DES across loads
+// and class counts: LogWeight is registered analytic-eligible, so its
+// Theorem-1-at-allocated-rates evaluation must sit inside the DES
+// confidence band exactly like PSD's.
+func TestLogWeightWithinDESConfidence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point DES grid")
+	}
+	grids := []struct {
+		deltas []float64
+		rho    float64
+	}{
+		{[]float64{1, 2}, 0.3},
+		{[]float64{1, 8}, 0.4},
+		{[]float64{1, 2, 4}, 0.6},
+	}
+	for _, g := range grids {
+		t.Run(fmt.Sprintf("%dclass-load%.0f", len(g.deltas), g.rho*100), func(t *testing.T) {
+			cfg := oracleConfig(g.deltas, g.rho, nil)
+			cfg.Allocator = core.LogWeight{}
 			checkAgainstDES(t, cfg, 10, 0.03)
 		})
 	}

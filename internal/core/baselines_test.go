@@ -184,11 +184,16 @@ func TestPDDWithIdleClass(t *testing.T) {
 }
 
 // TestAllAllocatorsStableRates: every allocator returns rates that keep
-// every active class stable and sum to ≤ 1 (+ε).
+// every active class stable and sum to ≤ 1 (+ε). The registry supplies
+// the policy zoo, so a newly registered policy is covered automatically;
+// Static rides along as the parameterized outsider.
 func TestAllAllocatorsStableRates(t *testing.T) {
 	w := paperWorkload(t)
 	st, _ := NewStatic([]float64{2, 1})
-	allocators := []Allocator{PSD{}, DemandProportional{}, st, PDD{}}
+	allocators := []Allocator{st}
+	for _, p := range Policies() {
+		allocators = append(allocators, p.New())
+	}
 	for _, rho := range []float64{0.2, 0.5, 0.8} {
 		classes := equalLoadClasses([]float64{1, 2}, rho, w)
 		for _, a := range allocators {

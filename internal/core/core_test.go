@@ -381,8 +381,30 @@ func TestFeasible(t *testing.T) {
 }
 
 func TestAllocatorNames(t *testing.T) {
+	// Registered policies: names are non-empty, unique, and each factory
+	// builds an allocator that answers to its registered name. New
+	// policies join the check by registering, not by editing this test.
+	seen := make(map[string]bool)
+	for _, p := range Policies() {
+		if p.Name == "" {
+			t.Fatal("registered policy with empty name")
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate policy name %q", p.Name)
+		}
+		seen[p.Name] = true
+		a := p.New()
+		if a == nil {
+			t.Fatalf("policy %q factory returned nil", p.Name)
+		}
+		if a.Name() != p.Name {
+			t.Errorf("policy %q factory builds allocator named %q", p.Name, a.Name())
+		}
+	}
+	// Parameterized allocators live outside the registry but still need
+	// names for Result provenance.
 	st, _ := NewStatic([]float64{1, 1})
-	for _, a := range []Allocator{PSD{}, EqualShare{}, DemandProportional{}, st, PDD{}} {
+	for _, a := range []Allocator{st, MinRate{Base: PSD{}, Min: 1e-4}, HeterogeneousPSD{}} {
 		if a.Name() == "" {
 			t.Errorf("%T has empty name", a)
 		}

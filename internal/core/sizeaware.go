@@ -1,0 +1,29 @@
+package core
+
+// HeSRPTWeights is the rate/weight half of the heSRPT policy (Berg,
+// Vesilo & Harchol-Balter, "heSRPT: Parallel Scheduling to Minimize Mean
+// Slowdown"): the discipline half — weighted shortest-job-first over the
+// packetized server — lives in internal/sched.HeSRPT, and this allocator
+// supplies its per-class weights. It delegates to PSD (Eq. 17) so the
+// weights carry the same δ-differentiation the rest of the zoo competes
+// under, but names itself after the policy and is flagged NeedsSizeInfo
+// in the registry: consumers (the sweep engine's policy axis, the CLIs)
+// must pair it with the size-aware discipline on the packetized model,
+// and the analytic evaluator refuses it — size-aware scheduling has no
+// closed form in this repo's M/G_B/1 framework.
+type HeSRPTWeights struct{}
+
+// Name implements Allocator.
+func (HeSRPTWeights) Name() string { return "hesrpt" }
+
+// Allocate implements Allocator by delegating to PSD.
+func (HeSRPTWeights) Allocate(classes []Class, w Workload) (Allocation, error) {
+	return PSD{}.Allocate(classes, w)
+}
+
+// AllocateInto implements InPlaceAllocator by delegating to PSD.
+func (HeSRPTWeights) AllocateInto(dst *Allocation, classes []Class, w Workload) error {
+	return PSD{}.AllocateInto(dst, classes, w)
+}
+
+var _ InPlaceAllocator = HeSRPTWeights{}

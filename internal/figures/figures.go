@@ -19,6 +19,9 @@
 //	Fig 12  slowdown vs upper bound p∈{100,1000,10000}
 //	Fig 13  (beyond the paper) per-window achieved ratio around a load
 //	        step, window vs EWMA estimation
+//	Fig 14  (beyond the paper) policy tournament: differentiation error,
+//	        mean slowdown and shed rate per registered policy across
+//	        overload scenarios × heavy-tail families
 //
 // The paper's full fidelity is Runs=100 over a 60000-tu horizon; Options
 // scales both down for quick runs.
@@ -28,6 +31,7 @@ import (
 	"fmt"
 	"math"
 
+	"psd/internal/admission"
 	"psd/internal/analytic"
 	"psd/internal/control"
 	"psd/internal/dist"
@@ -527,25 +531,146 @@ func Figure13(opts Options) (Figure, error) {
 	return fig, nil
 }
 
-// Generate runs one figure by ID (2–13; 13 is the beyond-paper estimator
-// transient study).
+// TournamentPolicies are the rival policies Figure 14 races: the paper's
+// PSD, the logarithmic-weight allocator, the downgrading allocator (which
+// arms the degradation ladder) and the size-aware heSRPT discipline.
+var TournamentPolicies = []string{"psd", "log", "downgrade", "hesrpt"}
+
+// Figure14 goes beyond the paper: a policy tournament over the core
+// registry. Every policy in TournamentPolicies runs the same 4-cell
+// overload grid — {paper Bounded Pareto, heavy-tailed lognormal} service
+// families × {sustained load step, flash crowd} schedules, 3 classes
+// δ=(1,2,4), base load 85% surging to ~136% — behind a per-point
+// utilization-bound admission gate. One sweep.Tournament expansion and
+// one Engine.Run cover the whole cross product; the plotted series per
+// policy are
+//
+//	ratio error:    mean over classes of |achieved ratio / target − 1|
+//	mean slowdown:  the arrival-weighted system slowdown
+//	shed rate:      fraction of arrivals dropped by admission
+//
+// with X = scenario cell (1: BP×step, 2: BP×flash, 3: lognormal×step,
+// 4: lognormal×flash). The downgrading policy's ladder holds the gate
+// open until every rung is engaged, so its shed rate reads the residual
+// overload degradation could not absorb; heSRPT runs on the packetized
+// server, which has no admission gate (its shed rate is 0 by
+// construction and its slowdowns come from size-aware scheduling).
+//
+// Replications are pinned to 1 per point: admission controllers are
+// stateful and the engine runs replications of one point concurrently,
+// so each expanded point gets its own controller instance instead.
+func Figure14(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	if opts.Engine == sweep.Analytic {
+		return Figure{}, fmt.Errorf("figure 14: %w: the tournament's transient overload scenarios only exist in a simulation", analytic.ErrNeedsSimulation)
+	}
+	deltas := []float64{1, 2, 4}
+	// Lognormal with σ=1.5 and unit mean (μ = −σ²/2): the second
+	// heavy-tail family, with all moments finite (E[1/X] included).
+	lognormal, err := dist.NewLognormal(-1.125, 1.5)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure 14: %w", err)
+	}
+	surgeAt := opts.Warmup + opts.Horizon/3
+	families := []struct {
+		name string
+		svc  dist.Distribution
+	}{
+		{"BP(0.1,100,1.5)", nil},
+		{"lognormal(sigma=1.5)", lognormal},
+	}
+	schedules := []struct {
+		name   string
+		phases []simsrv.LoadPhase
+	}{
+		{"load step", simsrv.LoadStep(surgeAt, 1.6)},
+		{"flash crowd", simsrv.FlashCrowd(surgeAt, opts.Horizon/3, 1.6)},
+	}
+	var base []sweep.Point
+	var cellNames []string
+	for _, fam := range families {
+		for _, sc := range schedules {
+			cfg := opts.config(deltas, 0.85, fam.svc)
+			cfg.LoadSchedule = sc.phases
+			// The utilization bound sheds large jobs first, which
+			// decouples admitted counts from admitted work; estimate
+			// load from work so ρ̂ tracks the admitted process.
+			cfg.EstimateFromWork = true
+			base = append(base, sweep.Point{Cfg: cfg, Runs: 1})
+			cellNames = append(cellNames, fam.name+" x "+sc.name)
+		}
+	}
+	points, err := sweep.Tournament(base, TournamentPolicies)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure 14: %w", err)
+	}
+	for i := range points {
+		adm, err := admission.NewUtilizationBound(0.95, points[i].Cfg.ApplyDefaults().Window)
+		if err != nil {
+			return Figure{}, fmt.Errorf("figure 14: %w", err)
+		}
+		points[i].Cfg.Admission = adm
+	}
+	eng := sweep.Engine{Workers: opts.Workers, Kind: opts.Engine}
+	aggs, err := eng.Run(points)
+	if err != nil {
+		return Figure{}, fmt.Errorf("figure 14: %w", err)
+	}
+
+	fig := Figure{
+		ID:     14,
+		Title:  "Policy tournament under overload (beyond the paper)",
+		XLabel: "Scenario cell",
+		YLabel: "Ratio error / slowdown / shed rate",
+		Notes: fmt.Sprintf("Cells: %v. deltas=(1,2,4), base load 85%%, surge x1.6 at t=%g; "+
+			"utilization-bound admission (bound 0.95); 1 run per cell. "+
+			"heSRPT runs packetized (no admission gate: shed rate 0).",
+			cellNames, surgeAt),
+	}
+	nCells := len(base)
+	for pi, name := range TournamentPolicies {
+		ratioErr := Series{Name: name + " ratio error"}
+		meanSlow := Series{Name: name + " mean slowdown"}
+		shed := Series{Name: name + " shed rate"}
+		for ci := 0; ci < nCells; ci++ {
+			agg := aggs[pi*nCells+ci]
+			var errSum float64
+			for i := 1; i < len(deltas); i++ {
+				target := deltas[i] / deltas[0]
+				errSum += math.Abs(agg.MeanRatios[i]/target - 1)
+			}
+			x := float64(ci + 1)
+			ratioErr.X = append(ratioErr.X, x)
+			ratioErr.Y = append(ratioErr.Y, errSum/float64(len(deltas)-1))
+			meanSlow.X = append(meanSlow.X, x)
+			meanSlow.Y = append(meanSlow.Y, agg.SystemSlowdown)
+			shed.X = append(shed.X, x)
+			shed.Y = append(shed.Y, agg.MeanShedRate)
+		}
+		fig.Series = append(fig.Series, ratioErr, meanSlow, shed)
+	}
+	return fig, nil
+}
+
+// Generate runs one figure by ID (2–14; 13 and 14 are the beyond-paper
+// estimator transient study and the policy tournament).
 func Generate(id int, opts Options) (Figure, error) {
 	gens := map[int]func(Options) (Figure, error){
 		2: Figure2, 3: Figure3, 4: Figure4, 5: Figure5, 6: Figure6,
 		7: Figure7, 8: Figure8, 9: Figure9, 10: Figure10, 11: Figure11, 12: Figure12,
-		13: Figure13,
+		13: Figure13, 14: Figure14,
 	}
 	g, ok := gens[id]
 	if !ok {
-		return Figure{}, fmt.Errorf("figures: no figure %d (valid: 2-13)", id)
+		return Figure{}, fmt.Errorf("figures: no figure %d (valid: 2-14)", id)
 	}
 	return g(opts)
 }
 
 // All regenerates every figure.
 func All(opts Options) ([]Figure, error) {
-	out := make([]Figure, 0, 12)
-	for id := 2; id <= 13; id++ {
+	out := make([]Figure, 0, 13)
+	for id := 2; id <= 14; id++ {
 		f, err := Generate(id, opts)
 		if err != nil {
 			return nil, err

@@ -19,8 +19,47 @@ func TestGenerateRejectsUnknownID(t *testing.T) {
 	if _, err := Generate(1, tiny()); err == nil {
 		t.Error("figure 1 (the architecture diagram) should not generate")
 	}
-	if _, err := Generate(14, tiny()); err == nil {
-		t.Error("figure 14 does not exist")
+	if _, err := Generate(15, tiny()); err == nil {
+		t.Error("figure 15 does not exist")
+	}
+}
+
+// TestFigure14PolicyTournament checks the beyond-paper tournament
+// figure: three series (ratio error, mean slowdown, shed rate) per
+// racing policy, one point per scenario cell, finite non-negative
+// values, and a zero shed series for the packetized heSRPT policy.
+func TestFigure14PolicyTournament(t *testing.T) {
+	f, err := Figure14(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 14 {
+		t.Fatalf("id = %d", f.ID)
+	}
+	if want := 3 * len(TournamentPolicies); len(f.Series) != want {
+		t.Fatalf("series = %d, want %d", len(f.Series), want)
+	}
+	for _, s := range f.Series {
+		if len(s.X) != 4 {
+			t.Fatalf("series %q has %d cells, want 4", s.Name, len(s.X))
+		}
+		for i, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("series %q cell %d: value %v", s.Name, i+1, v)
+			}
+		}
+	}
+	// The heSRPT policy runs on the packetized server, which has no
+	// admission gate: its shed series must be identically zero.
+	for _, s := range f.Series {
+		if !strings.HasSuffix(s.Name, "shed rate") || !strings.HasPrefix(s.Name, "hesrpt") {
+			continue
+		}
+		for i, v := range s.Y {
+			if v != 0 {
+				t.Errorf("hesrpt shed rate cell %d = %v, want 0", i+1, v)
+			}
+		}
 	}
 }
 

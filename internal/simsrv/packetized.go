@@ -64,6 +64,7 @@ type pkRunner struct {
 	scheduler   sched.Scheduler
 	ownSCFQ     *sched.SCFQ // retained default-discipline arena
 	ownSCFQSize int         // class count ownSCFQ was built for
+	schedSrc    rng.Source  // retained stream handed to NewScheduler
 	loop        control.Loop
 	workload    core.Workload
 	total       float64
@@ -253,7 +254,11 @@ func (p *pkRunner) reset(pc PacketizedConfig) error {
 	var src rng.Source
 	src.Reseed(cfg.Seed)
 	if pc.NewScheduler != nil {
-		p.scheduler = pc.NewScheduler(nc, src.Split(1000))
+		// Re-derive the scheduler stream into a retained Source so a
+		// factory that returns a retained scheduler keeps the reset
+		// allocation-free (same derived state as src.Split(1000)).
+		src.SplitInto(&p.schedSrc, 1000)
+		p.scheduler = pc.NewScheduler(nc, &p.schedSrc)
 	} else if p.ownSCFQ != nil && p.ownSCFQSize == nc {
 		p.ownSCFQ.Reset()
 		p.scheduler = p.ownSCFQ
@@ -362,6 +367,11 @@ func (p *pkRunner) collectInto(res *Result) {
 	res.AllocFailures = p.reallocFail
 	res.EventsProcessed = p.sim.Processed()
 	res.SystemSlowdown = 0
+	// The packetized model has no admission gate or ladder; clear the
+	// fields explicitly because Results recycle across runner modes.
+	res.LadderEngagedAt = math.NaN()
+	res.FirstShedAt = math.NaN()
+	res.LadderMaxedOut = false
 	p.records, res.Records = res.Records[:0], p.records
 
 	numWindows := int(math.Ceil(p.cfg.Horizon / p.cfg.Window))

@@ -35,6 +35,13 @@ type Aggregate struct {
 	// ran with TrackWindowRatios — the transient-response figures use it
 	// to plot estimator convergence after a load shift.
 	WindowRatioMeans [][]float64
+	// MeanShedRate is the across-run mean of the per-run shed fraction
+	// ΣRejected/(ΣRejected+ΣCount) — the fraction of arrivals dropped by
+	// admission control (0 without an admission gate). Rejections during
+	// warmup are included: shedding is a capacity decision, not a
+	// steady-state statistic, and the tournament figure compares
+	// policies on everything they refused to serve.
+	MeanShedRate float64
 	// AllocFailures totals allocator fallbacks across runs.
 	AllocFailures int
 	// EventsProcessed totals DES events across runs (for throughput
@@ -71,6 +78,7 @@ type Aggregator struct {
 	// ratio across runs; nil unless TrackWindowRatios.
 	winRatios []stats.Welford
 	system    stats.Welford
+	shed      stats.Welford
 	expected  []float64
 	allocFail int
 	events    uint64
@@ -160,6 +168,16 @@ func (a *Aggregator) Add(res *Result) {
 		copy(a.expected, res.ExpectedSlowdowns)
 	}
 	a.system.Add(res.SystemSlowdown)
+	var served, rejected float64
+	for i := 0; i < a.nc; i++ {
+		served += float64(res.Classes[i].Count)
+		rejected += float64(res.Classes[i].Rejected)
+	}
+	if total := served + rejected; total > 0 {
+		a.shed.Add(rejected / total)
+	} else {
+		a.shed.Add(0)
+	}
 	a.allocFail += res.AllocFailures
 	a.events += res.EventsProcessed
 }
@@ -177,6 +195,7 @@ func (a *Aggregator) Aggregate() (*Aggregate, error) {
 		RatioSummaries:    make([]stats.Summary, a.nc),
 		MeanRatios:        make([]float64, a.nc),
 		SystemSlowdown:    a.system.Mean(),
+		MeanShedRate:      a.shed.Mean(),
 		AllocFailures:     a.allocFail,
 		EventsProcessed:   a.events,
 	}

@@ -265,6 +265,18 @@ type Result struct {
 	AllocFailures int
 	// EventsProcessed is the DES event count (for performance tracking).
 	EventsProcessed uint64
+	// LadderEngagedAt is the sim time the downgrading allocator's
+	// degradation ladder first stepped off level 0 (NaN when the run used
+	// no ladder or it never engaged). Only core.Downgrading arms the
+	// ladder; see runner.reset.
+	LadderEngagedAt float64
+	// FirstShedAt is the sim time of the first admission rejection (NaN
+	// when nothing was shed). With a ladder armed this is necessarily
+	// ≥ LadderEngagedAt: the gate stays open until the ladder maxes out.
+	FirstShedAt float64
+	// LadderMaxedOut reports whether the ladder ended the run with every
+	// rung engaged (always false without a ladder).
+	LadderMaxedOut bool
 	// Records holds request-level samples if Config.RecordRequests.
 	Records []RequestRecord
 }
@@ -413,6 +425,19 @@ type runner struct {
 	allocMeasured []float64
 	allocLambdas  []float64
 
+	// Degradation ladder, armed only when cfg.Allocator is downgrading
+	// (core.IsDowngrading): the allocation side drives admission.Ladder
+	// exactly like the live server does — δ multipliers into the tick,
+	// ρ̂ + feasibility back into the state machine, and the admission
+	// gate held open until every rung is engaged. nil otherwise, which
+	// keeps every pre-existing policy's trajectory bit-identical.
+	ladder          *admission.Ladder
+	ladderDeltas    []float64 // deltas the retained ladder was built for
+	ladderScale     []float64 // per-class δ multipliers fed to the tick
+	ladderLoads     []float64 // per-class ρ̂ scratch for Observe
+	ladderEngagedAt float64   // first time off level 0 (NaN = never)
+	firstShedAt     float64   // first admission rejection (NaN = never)
+
 	reallocOK   int
 	reallocFail int
 	records     []RequestRecord
@@ -451,6 +476,19 @@ func resizeFloat(s []float64, n int) []float64 {
 		return make([]float64, n)
 	}
 	return s[:n]
+}
+
+// floatsEqual reports exact element-wise equality (ladder-reuse check).
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // reset re-arms the runner for one replication of cfg (already defaulted
@@ -536,6 +574,31 @@ func (r *runner) reset(cfg Config, w core.Workload) error {
 		return err
 	}
 
+	// A downgrading allocator arms the degradation ladder (default
+	// rungs/hysteresis, the live server's dimensioning); everything else
+	// clears it so pre-existing policies keep their exact trajectories.
+	// The ladder itself is retained across replications of the same class
+	// vector — a reset replays thousands of reps without reallocating.
+	r.ladderEngagedAt = math.NaN()
+	r.firstShedAt = math.NaN()
+	if core.IsDowngrading(cfg.Allocator) {
+		if r.ladder != nil && floatsEqual(r.ladderDeltas, r.allocDeltas) {
+			r.ladder.Reset()
+		} else {
+			ld, err := admission.NewLadder(admission.LadderConfig{}, r.allocDeltas)
+			if err != nil {
+				return err
+			}
+			r.ladder = ld
+			r.ladderDeltas = resizeFloat(r.ladderDeltas, nc)
+			copy(r.ladderDeltas, r.allocDeltas)
+		}
+		r.ladderScale = resizeFloat(r.ladderScale, nc)
+		r.ladderLoads = resizeFloat(r.ladderLoads, nc)
+	} else {
+		r.ladder = nil
+	}
+
 	// Initial rates: the operator provisions from the declared arrival
 	// rates (the estimator has no history yet); thereafter measurements
 	// drive reallocation. Any error (e.g. declared overload or all-zero
@@ -573,8 +636,16 @@ func (r *runner) onArrival(i int) {
 	cs := &r.classes[i]
 	now := r.sim.Now()
 	size := cs.service.Sample(&cs.sizeRng)
-	if r.cfg.Admission != nil && !r.cfg.Admission.Admit(i, size, now) {
+	// With a degradation ladder armed, the admission gate stays open
+	// until every rung is engaged — degrade first, shed only when
+	// degradation has nothing left to give (same ordering as the live
+	// server's admit path).
+	if r.cfg.Admission != nil && (r.ladder == nil || r.ladder.MaxedOut()) &&
+		!r.cfg.Admission.Admit(i, size, now) {
 		cs.rejected++
+		if math.IsNaN(r.firstShedAt) {
+			r.firstShedAt = now
+		}
 		r.scheduleNextArrival(i)
 		return
 	}
@@ -755,13 +826,37 @@ func (r *runner) onRealloc() {
 		}
 		in.OracleLambdas = oracle
 	}
-	if rates, err := r.loop.Tick(in); err == nil {
+	if r.ladder != nil {
+		r.ladder.ScaleInto(r.ladderScale)
+		in.DeltaScale = r.ladderScale
+		if r.ladder.Engaged() {
+			// While degraded the ratio controller must not fight the
+			// ladder (it trims toward the base targets the ladder is
+			// deliberately scaling away from): skip its update this tick.
+			in.MeasuredSlowdowns = nil
+		}
+	}
+	rates, err := r.loop.Tick(in)
+	if err == nil {
 		r.applyRates(rates)
 		r.reallocOK++
 	} else {
 		// Transient estimate infeasibility (ρ̂ ≥ 1 at very high
 		// loads): retain the previous rates for this window.
 		r.reallocFail++
+	}
+	if r.ladder != nil {
+		// Feed ρ̂ (+ feasibility) back into the degradation state
+		// machine, mirroring the live server's tick.
+		r.loop.LoadsInto(r.ladderLoads)
+		rho := 0.0
+		for _, l := range r.ladderLoads {
+			rho += l
+		}
+		r.ladder.Observe(rho, errors.Is(err, core.ErrInfeasible))
+		if math.IsNaN(r.ladderEngagedAt) && r.ladder.Engaged() {
+			r.ladderEngagedAt = r.sim.Now()
+		}
 	}
 	if r.sim.Now() < r.total {
 		r.scheduleReallocation()
@@ -814,6 +909,9 @@ func (r *runner) collectInto(res *Result) {
 	res.AllocFailures = r.reallocFail
 	res.EventsProcessed = r.sim.Processed()
 	res.SystemSlowdown = 0
+	res.LadderEngagedAt = r.ladderEngagedAt
+	res.FirstShedAt = r.firstShedAt
+	res.LadderMaxedOut = r.ladder != nil && r.ladder.MaxedOut()
 	// Hand the accumulated records to the Result and adopt its buffer
 	// for the next replication (ping-pong, so neither side reallocates).
 	r.records, res.Records = res.Records[:0], r.records

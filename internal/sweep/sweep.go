@@ -124,6 +124,15 @@ type Point struct {
 	// produces — the closed forms predict means, not window-to-window
 	// variability. The percentile figures (5–6) set it.
 	NeedWindowStats bool
+	// Policy optionally names a registered allocation policy (core.Names());
+	// Run resolves it in place before anything executes: Cfg.Allocator is
+	// overridden with the policy's allocator, and a size-aware policy
+	// (core.Capabilities.NeedsSizeInfo, e.g. heSRPT) additionally switches
+	// the point to the packetized model with its matching internal/sched
+	// discipline. This is the grid's policy axis: crossing one scenario
+	// list with a policy list (see Tournament) sweeps a whole policy
+	// tournament in a single engine invocation.
+	Policy string
 }
 
 // needsDES returns the reason this point cannot take the analytic path
@@ -198,6 +207,9 @@ func (e *Engine) Run(points []Point) ([]*simsrv.Aggregate, error) {
 		p := &points[i]
 		if p.Runs < 1 {
 			return nil, fmt.Errorf("sweep: point %d needs at least 1 run, got %d", i, p.Runs)
+		}
+		if err := p.resolvePolicy(); err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", i, err)
 		}
 		cfg := p.Cfg.ApplyDefaults()
 		if err := cfg.Validate(); err != nil {

@@ -57,6 +57,12 @@ type (
 	EstimatorKind = control.EstimatorKind
 	// LoadPhase is one segment of a transient arrival-rate schedule.
 	LoadPhase = simsrv.LoadPhase
+	// Policy is one registered allocation policy: name, summary,
+	// capability flags and allocator factory.
+	Policy = core.Policy
+	// PolicyCapabilities are a policy's registry capability flags
+	// (analytic-eligible, needs-size-info, degradation-aware).
+	PolicyCapabilities = core.Capabilities
 )
 
 // Estimator kinds for SimConfig.Estimator / ControlLoopConfig.Estimator.
@@ -163,11 +169,24 @@ func EqualLoadSimConfig(deltas []float64, rho float64, service Distribution) Sim
 }
 
 // GenerateFigure regenerates one of the paper's evaluation figures
-// (IDs 2–12).
+// (IDs 2–12) or the beyond-paper studies (13: estimator transient,
+// 14: policy tournament).
 func GenerateFigure(id int, opts FigureOptions) (Figure, error) {
 	return figures.Generate(id, opts)
 }
 
-// PSDAllocator returns the paper's allocator; baselines live in
-// internal/core (EqualShare, DemandProportional, PDD, Static).
+// PSDAllocator returns the paper's allocator. The rest of the policy zoo
+// is reachable by name through ParseAllocator / Policies.
 func PSDAllocator() Allocator { return core.PSD{} }
+
+// ParseAllocator resolves a registered policy name ("psd", "pdd",
+// "equal", "demand", "ppsd", "log", "downgrade", "hesrpt") to a fresh
+// allocator — the single parsing seam every CLI shares.
+func ParseAllocator(name string) (Allocator, error) { return core.Parse(name) }
+
+// AllocatorNames lists the registered policy names, sorted.
+func AllocatorNames() []string { return core.Names() }
+
+// Policies lists every registered policy with its capability flags, in
+// registration order.
+func Policies() []Policy { return core.Policies() }
